@@ -1,0 +1,47 @@
+"""Benchmark harness plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures via its
+experiment module, persists the rendered text under ``results/``, and
+asserts the qualitative shape the paper reports.  The scale preset is
+selected by ``REPRO_SCALE`` (default: quick).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment module once under pytest-benchmark timing and
+    persist its report."""
+
+    def _run(module, seed: int = 0):
+        from repro.experiments import active_scale
+
+        scale = active_scale()
+        report = benchmark.pedantic(
+            lambda: module.run(scale, seed=seed), rounds=1, iterations=1
+        )
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{report.experiment_id}_{scale.name}.txt"
+        path.write_text(report.text + "\n")
+        print(report.text)
+        return report
+
+    return _run
+
+
+def non_increasing(series, tol: float = 1e-9) -> bool:
+    arr = np.asarray(list(series), dtype=float)
+    return bool((np.diff(arr) <= tol).all())
+
+
+def finite_positive(values) -> bool:
+    arr = np.asarray(list(values), dtype=float)
+    return bool(np.isfinite(arr).all() and (arr > 0).all())

@@ -1,0 +1,16 @@
+"""Ablation bench: action masks and message aggregation (DESIGN.md)."""
+
+import numpy as np
+
+from repro.experiments import ablation
+
+
+def test_ablation_design_choices(run_experiment):
+    report = run_experiment(ablation)
+    finals = report.data["mean_final"]
+    assert set(finals) == {
+        "giph (masks, mean-agg)",
+        "giph (no masks)",
+        "giph (sum-agg)",
+    }
+    assert all(np.isfinite(v) and v >= 0.99 for v in finals.values())

@@ -1,0 +1,17 @@
+"""Fig. 14: convergence of the GNN implementation alternatives."""
+
+import numpy as np
+
+from repro.experiments import fig14
+
+
+def test_fig14_convergence(run_experiment):
+    report = run_experiment(fig14)
+    assert len(report.data) == 3  # three network settings
+    for setting, curves in report.data.items():
+        expected = set(fig14.GNN_VARIANTS) | {"giph-task-eft"}
+        assert set(curves) == expected, setting
+        for variant, curve in curves.items():
+            assert len(curve) >= 1, f"{setting}/{variant}"
+            assert np.isfinite(curve).all(), f"{setting}/{variant}"
+            assert all(v >= 0.99 for v in curve), f"{setting}/{variant}: SLR < bound"

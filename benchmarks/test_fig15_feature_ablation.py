@@ -1,0 +1,14 @@
+"""Fig. 15: convergence without the start-time-potential feature."""
+
+import numpy as np
+
+from repro.experiments import fig15
+
+
+def test_fig15_feature_ablation(run_experiment):
+    report = run_experiment(fig15)
+    curves = report.data["curves"]
+    assert set(curves) == {"giph", "giph-3", "giph-5", "giph-ne-pol"}
+    for variant, curve in curves.items():
+        assert len(curve) >= 1 and np.isfinite(curve).all(), variant
+        assert all(v >= 0.99 for v in curve), variant

@@ -1,0 +1,19 @@
+"""Fig. 4: placement quality and search efficiency (4 panels)."""
+
+from repro.experiments import fig4
+
+from .conftest import finite_positive, non_increasing
+
+
+def test_fig4_search_efficiency(run_experiment):
+    report = run_experiment(fig4)
+    assert len(report.data) == 4  # {single, multi} x {0, 0.2} noise
+    for panel, payload in report.data.items():
+        for name, curve in payload["curves"].items():
+            assert non_increasing(curve), f"{panel}/{name} best-so-far must not increase"
+            assert finite_positive(curve), f"{panel}/{name} SLR must be finite/positive"
+        # Search must actually improve on the shared initial placement.
+        giph = payload["curves"]["giph"]
+        assert giph[-1] <= giph[0] + 1e-9
+        # SLR is normalized to a true lower bound.
+        assert payload["final"]["giph"] >= 0.99

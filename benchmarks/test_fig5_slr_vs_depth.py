@@ -1,0 +1,21 @@
+"""Fig. 5: average SLR vs task-graph depth."""
+
+import numpy as np
+
+from repro.experiments import fig5
+
+from .conftest import finite_positive
+
+
+def test_fig5_slr_vs_depth(run_experiment):
+    report = run_experiment(fig5)
+    depths = report.data["depths"]
+    assert depths, "test set produced no depth buckets"
+    for name, means in report.data["mean_slr"].items():
+        assert len(means) == len(depths)
+        assert finite_positive(means), name
+    # SLR is lower-bounded by 1 for every method.
+    for name, overall in report.data["overall"].items():
+        assert overall >= 0.99, name
+    # HEFT is the strong baseline: it must beat random sampling on average.
+    assert report.data["overall"]["heft"] <= report.data["overall"]["random"] + 0.5

@@ -1,0 +1,17 @@
+"""Fig. 6: adaptivity to device-network changes."""
+
+from repro.experiments import fig6
+
+from .conftest import finite_positive
+
+
+def test_fig6_adaptivity(run_experiment):
+    report = run_experiment(fig6)
+    slr = report.data["slr_by_change"]
+    expected = {"giph", "giph-task-eft", "placeto", "random", "rnn-placer", "heft"}
+    assert set(slr) == expected
+    lengths = {len(v) for v in slr.values()}
+    assert len(lengths) == 1 and lengths.pop() >= 1
+    for name, series in slr.items():
+        assert finite_positive(series), name
+        assert all(v >= 0.99 for v in series), f"{name}: SLR below lower bound"

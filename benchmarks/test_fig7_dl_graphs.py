@@ -1,0 +1,18 @@
+"""Fig. 7: DL computation graphs — search efficiency + relocation counts."""
+
+from repro.experiments import fig7
+
+from .conftest import finite_positive, non_increasing
+
+
+def test_fig7_dl_graphs(run_experiment):
+    report = run_experiment(fig7)
+    for name, curve in report.data["curves"].items():
+        assert non_increasing(curve), name
+        assert finite_positive(curve), name
+        assert curve[-1] <= curve[0] + 1e-9
+    # (b): GiPH relocates at least one task, and revisits some tasks more
+    # than once (the selective-relocation behaviour of §5.2).
+    hist = report.data["relocation_histogram"]
+    assert hist, "GiPH never relocated any task"
+    assert all(k >= 1 for k in hist)

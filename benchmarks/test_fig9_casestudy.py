@@ -1,0 +1,18 @@
+"""Fig. 9: case study — sensor-fusion placement over traffic traces."""
+
+from repro.experiments import fig9
+
+from .conftest import finite_positive, non_increasing
+
+
+def test_fig9_casestudy(run_experiment):
+    report = run_experiment(fig9)
+    assert report.data["num_train"] >= 1 and report.data["num_test"] >= 1
+    for name, curve in report.data["curves"].items():
+        assert non_increasing(curve), name
+        assert finite_positive(curve), name
+    for name, finals in report.data["finals"].items():
+        assert all(v >= 0.99 for v in finals), f"{name}: SLR below lower bound"
+    # Search improves on the initial placement.
+    giph = report.data["curves"]["giph"]
+    assert giph[-1] <= giph[0] + 1e-9

@@ -1,0 +1,12 @@
+"""Tables 1-2: measurement constants and the C·T + S latency fit."""
+
+from repro.experiments import table1
+
+
+def test_table1_latency_fit(run_experiment):
+    report = run_experiment(table1)
+    # The affine model reproduces Table 1 within a modest relative error.
+    assert report.data["fit_rms"] < 0.30
+    # Type C (GTX 1080 workstation) is the fastest device class.
+    unit = report.data["unit_time"]
+    assert unit["C"] < unit["A"] and unit["C"] < unit["B"]

@@ -1,0 +1,22 @@
+"""Table 6: pairwise placement-quality comparison."""
+
+import numpy as np
+
+from repro.experiments import table6
+
+
+def test_table6_pairwise(run_experiment):
+    report = run_experiment(table6)
+    matrix = report.data["matrix"]
+    methods = table6.METHODS
+    # Completeness: every ordered pair present, percentages sum to 100.
+    for a in methods:
+        for b in methods:
+            if a == b:
+                continue
+            better, equal, worse = matrix[f"{a}|{b}"]
+            assert abs(better + equal + worse - 100.0) < 1e-6
+            # Antisymmetry: a-vs-b mirrors b-vs-a.
+            b2, e2, w2 = matrix[f"{b}|{a}"]
+            assert abs(better - w2) < 1e-6 and abs(equal - e2) < 1e-6
+    assert all(np.isfinite(v) for v in report.data["mean_final"].values())

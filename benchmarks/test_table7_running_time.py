@@ -1,0 +1,22 @@
+"""Table 7 / Fig. 17: policy running and training time per sample."""
+
+import numpy as np
+
+from repro.experiments import table7
+
+
+def test_table7_running_time(run_experiment):
+    report = run_experiment(table7)
+    timing = report.data["table7"]
+    variants = set(table7.VARIANTS) | {"placeto"}
+    assert set(timing) == variants
+    for variant, t in timing.items():
+        assert t["infer"] > 0 and t["train"] > 0, variant
+    # Paper shape: the no-GNN variant is the cheapest to run; the k-step
+    # variants bound the cost of full-depth message passing.
+    assert timing["giph-ne-pol"]["infer"] <= timing["giph"]["infer"]
+    fig17 = report.data["fig17"]
+    sizes = report.data["sizes"]
+    for variant, series in fig17["infer"].items():
+        assert len(series) == len(sizes), variant
+        assert all(np.isfinite(x) and x > 0 for x in series), variant

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: train a GiPH policy and use it to place an application.
+
+Covers the library's core loop end to end:
+
+1. generate a random placement problem (task graph + device network);
+2. train a GiPH agent with REINFORCE on a small problem distribution;
+3. search for a placement on an *unseen* problem with the trained policy;
+4. compare against random sampling and HEFT.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GiPHAgent, MakespanObjective, PlacementProblem, ReinforceTrainer, run_search
+from repro.baselines import heft_placement
+from repro.core import ReinforceConfig, random_placement
+from repro.devices import DeviceNetworkParams, generate_device_network
+from repro.graphs import TaskGraphParams, generate_task_graph
+from repro.sim import cp_min_lower_bound
+
+
+def make_problem(rng: np.random.Generator) -> PlacementProblem:
+    graph = generate_task_graph(
+        TaskGraphParams(num_tasks=14, shape=1.0, connect_prob=0.3), rng
+    )
+    network = generate_device_network(DeviceNetworkParams(num_devices=7), rng)
+    return PlacementProblem(graph, network)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    objective = MakespanObjective()
+
+    # 1-2. A small training distribution and a REINFORCE-trained agent.
+    # (The paper trains for 200 episodes on 150 graphs; this miniature
+    # budget keeps the example under a minute — expect modest gains here
+    # and see the benchmark suite for the paper-scale comparison.)
+    train_problems = [make_problem(rng) for _ in range(6)]
+    agent = GiPHAgent(rng, embedding="giph")
+    trainer = ReinforceTrainer(agent, objective, ReinforceConfig(episodes=40))
+    print("training GiPH on 6 random problems (40 episodes)...")
+    trainer.train(train_problems, rng)
+    print(f"  reward of last episode: {trainer.history[-1].total_reward:+.2f}")
+
+    # 3. Place an unseen problem: the policy relocates tasks step by step.
+    problem = make_problem(rng)
+    initial = random_placement(problem, rng)
+    trace = run_search(agent, problem, objective, initial)
+    bound = cp_min_lower_bound(problem.cost_model)
+
+    print(f"\nunseen problem: {problem.graph.num_tasks} tasks on "
+          f"{problem.network.num_devices} devices")
+    print(f"  initial makespan: {trace.values[0]:8.2f}  (SLR {trace.values[0] / bound:.2f})")
+    print(f"  GiPH best:        {trace.best_value:8.2f}  (SLR {trace.best_value / bound:.2f})")
+
+    # 4. Reference points.
+    random_best = min(
+        objective.evaluate(problem.cost_model, random_placement(problem, rng))
+        for _ in range(len(trace.values))
+    )
+    heft_value = objective.evaluate(problem.cost_model, heft_placement(problem).placement)
+    print(f"  random sampling:  {random_best:8.2f}  (SLR {random_best / bound:.2f})")
+    print(f"  HEFT:             {heft_value:8.2f}  (SLR {heft_value / bound:.2f})")
+    print(f"\nGiPH relocation counts per task: {trace.relocation_counts}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro — reproduction of GiPH: Generalizable Placement Learning for
+Adaptive Heterogeneous Computing (MLSys 2023).
+
+Subpackages
+-----------
+* :mod:`repro.nn` — NumPy autograd / neural-network substrate.
+* :mod:`repro.graphs` — task graphs: structures and generators.
+* :mod:`repro.devices` — heterogeneous device networks and churn.
+* :mod:`repro.sim` — discrete-event runtime simulator, metrics, objectives.
+* :mod:`repro.core` — GiPH itself: gpNet, MDP, GNNs, policy, REINFORCE.
+* :mod:`repro.baselines` — HEFT, EFT hybrids, Placeto, RNN placer.
+* :mod:`repro.casestudy` — CAV sensor-fusion case study.
+* :mod:`repro.experiments` — runners regenerating every paper table/figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import GiPHAgent, PlacementProblem, ReinforceTrainer, run_search
+>>> from repro.graphs import TaskGraphParams, generate_task_graph
+>>> from repro.devices import DeviceNetworkParams, generate_device_network
+>>> from repro.sim import MakespanObjective
+>>> rng = np.random.default_rng(0)
+>>> graph = generate_task_graph(TaskGraphParams(num_tasks=10), rng)
+>>> network = generate_device_network(DeviceNetworkParams(num_devices=4), rng)
+>>> problem = PlacementProblem(graph, network)
+>>> agent = GiPHAgent(rng)
+>>> stats = ReinforceTrainer(agent, MakespanObjective()).train([problem], rng, episodes=2)
+>>> len(stats)
+2
+"""
+
+from .core import (
+    GiPHAgent,
+    PlacementProblem,
+    ReinforceConfig,
+    ReinforceTrainer,
+    SearchTrace,
+    random_placement,
+    run_search,
+)
+from .sim import EnergyObjective, MakespanObjective, TotalCostObjective, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GiPHAgent",
+    "PlacementProblem",
+    "ReinforceConfig",
+    "ReinforceTrainer",
+    "SearchTrace",
+    "random_placement",
+    "run_search",
+    "MakespanObjective",
+    "TotalCostObjective",
+    "EnergyObjective",
+    "simulate",
+    "__version__",
+]

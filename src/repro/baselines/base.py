@@ -1,0 +1,60 @@
+"""Common interface for the search-based placement policies of §5.
+
+Every policy (GiPH, Placeto, random variants, the EFT hybrids) exposes
+``search(...) -> SearchTrace`` so the experiment harness can sweep them
+uniformly and plot best-so-far curves against search steps.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..core.placement import PlacementProblem
+from ..core.search import SearchTrace
+from ..sim.objectives import Objective
+
+__all__ = ["SearchPolicy", "trace_from_values"]
+
+
+class SearchPolicy(Protocol):
+    """A placement-search policy evaluated step by step."""
+
+    name: str
+
+    def search(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        initial_placement: Sequence[int],
+        episode_length: int,
+        rng: np.random.Generator,
+    ) -> SearchTrace:
+        ...
+
+
+def trace_from_values(
+    placements: Sequence[tuple[int, ...]],
+    values: Sequence[float],
+    num_tasks: int,
+    relocation_counts: Sequence[int] | None = None,
+) -> SearchTrace:
+    """Assemble a :class:`SearchTrace` from a placement/value series."""
+    if len(placements) != len(values) or not values:
+        raise ValueError("placements and values must be equal-length and non-empty")
+    best_over_time: list[float] = []
+    best_value = float("inf")
+    best_placement = placements[0]
+    for placement, value in zip(placements, values):
+        if value < best_value:
+            best_value = value
+            best_placement = placement
+        best_over_time.append(best_value)
+    return SearchTrace(
+        best_placement=tuple(best_placement),
+        best_value=best_value,
+        best_over_time=tuple(best_over_time),
+        values=tuple(values),
+        relocation_counts=tuple(relocation_counts or [0] * num_tasks),
+    )

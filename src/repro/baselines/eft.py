@@ -1,0 +1,61 @@
+"""EFT device selection for search-based baselines (paper §5).
+
+Given the current placement's timeline, estimate each candidate device's
+earliest finish time for one task and pick the minimizer.  This is
+HEFT's device-selection rule adapted to incremental search: the estimate
+reuses the simulated timeline of the *current* placement rather than
+re-simulating every candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.placement import PlacementProblem
+from ..sim.executor import SimResult, simulate
+
+__all__ = ["eft_estimates", "eft_device"]
+
+
+def eft_estimates(
+    problem: PlacementProblem,
+    placement: Sequence[int],
+    task: int,
+    timeline: SimResult | None = None,
+) -> dict[int, float]:
+    """Estimated finish time of ``task`` on each feasible device.
+
+    EFT(i, d) = max(data-ready(i, d), device-ready(d)) + w_{i,d}, with
+    data-ready from the parents' current finish times and device-ready
+    from the device's last finish in the current timeline (its own
+    current device is credited with the task's own slot).
+    """
+    graph, cm = problem.graph, problem.cost_model
+    placement = list(placement)
+    if timeline is None:
+        timeline = simulate(graph, problem.network, placement, cm)
+
+    estimates: dict[int, float] = {}
+    for d in problem.feasible_sets[task]:
+        ready = 0.0
+        for p in graph.parents[task]:
+            ready = max(ready, timeline.finish[p] + cm.comm_time((p, task), placement[p], d))
+        device_ready = float(timeline.device_last_finish[d])
+        if d == placement[task]:
+            # The task itself is the device's load; don't double count it.
+            device_ready = min(device_ready, float(timeline.start[task]))
+        estimates[d] = max(ready, device_ready) + cm.compute_time(task, d)
+    return estimates
+
+
+def eft_device(
+    problem: PlacementProblem,
+    placement: Sequence[int],
+    task: int,
+    timeline: SimResult | None = None,
+) -> int:
+    """The feasible device with the minimum estimated finish time."""
+    estimates = eft_estimates(problem, placement, task, timeline)
+    return min(estimates, key=lambda d: (estimates[d], d))

@@ -1,0 +1,274 @@
+"""Placeto baseline (Addanki et al., 2019), as characterized in the paper.
+
+Placeto also performs incremental placement improvement, but differs
+from GiPH in exactly the ways the paper isolates:
+
+* it traverses each node **once**, in a fixed order, so it cannot revisit
+  earlier decisions within an episode;
+* its graph embedding covers the **task graph only** — device-network
+  features are absent, which is why it degrades under noise and across
+  device networks (Figs. 4-6);
+* its policy head outputs a fixed-size distribution over devices, tying
+  the trained network to a specific device count.
+
+Architecture follows Table 4/5's Placeto row: 5 raw node features,
+8 message-passing steps, node summary of dimension 5·2·4 = 40 (per-node
+forward/backward embeddings, parent-aggregated, child-aggregated and
+graph-pooled views), policy MLP 40 -> 32 -> num_devices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.placement import PlacementProblem
+from ..core.reinforce import average_reward_baseline, discounted_returns
+from ..core.search import SearchTrace
+from ..nn import MLP, Adam, Linear, Module, Parameter, Tensor, concat, no_grad
+from ..nn import functional as F
+from ..sim.objectives import Objective
+from .base import trace_from_values
+
+__all__ = ["PlacetoAgent", "PlacetoTrainer", "placeto_node_features"]
+
+
+def placeto_node_features(
+    problem: PlacementProblem,
+    placement: Sequence[int],
+    current_node: int,
+    placed: np.ndarray,
+) -> np.ndarray:
+    """Placeto's 5 per-operator features (paper §B.7).
+
+    (1) average compute time, (2) average output data bytes, (3) current
+    placement (normalized device index), (4) is-current indicator,
+    (5) already-placed-this-episode indicator.  Note the absence of any
+    device-network capability feature — Placeto's crucial limitation.
+    """
+    graph = problem.graph
+    cm = problem.cost_model
+    m = problem.network.num_devices
+    rows = []
+    for i in range(graph.num_tasks):
+        rows.append(
+            [
+                cm.mean_compute_time(i),
+                graph.data_out(i),
+                placement[i] / max(m - 1, 1),
+                1.0 if i == current_node else 0.0,
+                1.0 if placed[i] else 0.0,
+            ]
+        )
+    feats = np.array(rows)
+    scale = np.abs(feats).mean(axis=0)
+    return feats / np.where(scale > 1e-12, scale, 1.0)
+
+
+class _PlacetoEmbedding(Module):
+    """k-step two-way message passing over the task graph (no edge feats)."""
+
+    def __init__(self, rng: np.random.Generator, node_dim: int = 5, embed_dim: int = 5, steps: int = 8) -> None:
+        self.pre = MLP([node_dim, node_dim, embed_dim], rng)
+        self.fwd_msg = Linear(embed_dim, embed_dim, rng)
+        self.fwd_agg = Linear(embed_dim, embed_dim, rng)
+        self.bwd_msg = Linear(embed_dim, embed_dim, rng)
+        self.bwd_agg = Linear(embed_dim, embed_dim, rng)
+        self.steps = steps
+        self.embed_dim = embed_dim
+        self.out_dim = embed_dim * 2 * 4
+
+    def _propagate(self, e0, src, dst, msg_layer, agg_layer, n):
+        e = e0
+        for _ in range(self.steps):
+            if len(src) == 0:
+                agg = Tensor(np.zeros((n, self.embed_dim)))
+            else:
+                msg = msg_layer(e[src]).relu()
+                agg = F.segment_mean(msg, dst, n)
+            e = agg_layer(agg).relu() + e0
+        return e
+
+    def forward(self, problem: PlacementProblem, features: np.ndarray) -> Tensor:
+        """Node summaries of dim embed·2·4: per-node forward/backward
+        embeddings plus parent-aggregated and child-aggregated views
+        (zeros where a node has no parents/children), mirroring Placeto's
+        grouped summaries."""
+        graph = problem.graph
+        n = graph.num_tasks
+        src = np.array([u for (u, _) in graph.edges], dtype=np.int64)
+        dst = np.array([v for (_, v) in graph.edges], dtype=np.int64)
+        e0 = self.pre(Tensor(features))
+        e_fwd = self._propagate(e0, src, dst, self.fwd_msg, self.fwd_agg, n)
+        e_bwd = self._propagate(e0, dst, src, self.bwd_msg, self.bwd_agg, n)
+        node = concat([e_fwd, e_bwd], axis=1)
+        if len(src) == 0:
+            parents = Tensor(np.zeros((n, 2 * self.embed_dim)))
+            children = Tensor(np.zeros((n, 2 * self.embed_dim)))
+        else:
+            parents = F.segment_mean(node[src], dst, n)
+            children = F.segment_mean(node[dst], src, n)
+        pooled = node.mean(axis=0, keepdims=True) + Tensor(np.zeros((n, 2 * self.embed_dim)))
+        return concat([node, parents, children, pooled], axis=1)
+
+
+class PlacetoAgent:
+    """Placeto: single-visit node traversal with a per-device softmax head.
+
+    ``num_devices`` is baked into the policy head — the architectural
+    reason Placeto cannot transfer across clusters of different sizes.
+    """
+
+    name = "placeto"
+
+    def __init__(self, rng: np.random.Generator, num_devices: int) -> None:
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        self.num_devices = num_devices
+        self.embedding = _PlacetoEmbedding(rng)
+        self.head = MLP([self.embedding.out_dim, 32, num_devices], rng)
+        self.rng = rng
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield from self.embedding.parameters()
+        yield from self.head.parameters()
+
+    def device_log_probs(
+        self,
+        problem: PlacementProblem,
+        placement: Sequence[int],
+        node: int,
+        placed: np.ndarray,
+    ) -> Tensor:
+        """Masked device distribution for ``node``.
+
+        Networks *smaller* than the head are handled by masking the
+        surplus outputs (devices can leave the cluster mid-deployment,
+        Fig. 6); larger networks cannot be represented at all — the
+        fixed-size head is Placeto's structural limitation.
+        """
+        if problem.network.num_devices > self.num_devices:
+            raise ValueError(
+                f"Placeto head built for {self.num_devices} devices; "
+                f"network has {problem.network.num_devices} — retraining required"
+            )
+        feats = placeto_node_features(problem, placement, node, placed)
+        embeddings = self.embedding(problem, feats)
+        logits = self.head(embeddings[node])
+        mask = np.zeros(self.num_devices, dtype=bool)
+        mask[list(problem.feasible_sets[node])] = True
+        return F.masked_log_softmax(logits, mask)
+
+    def choose_device(
+        self,
+        problem: PlacementProblem,
+        placement: Sequence[int],
+        node: int,
+        placed: np.ndarray,
+        greedy: bool = False,
+    ) -> tuple[int, Tensor]:
+        log_probs = self.device_log_probs(problem, placement, node, placed)
+        probs = np.exp(log_probs.data)
+        probs /= probs.sum()
+        if greedy:
+            device = int(np.argmax(probs))
+        else:
+            device = int(self.rng.choice(self.num_devices, p=probs))
+        return device, log_probs[device]
+
+    # -- evaluation -------------------------------------------------------------
+
+    def search(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        initial_placement: Sequence[int],
+        episode_length: int,
+        rng: np.random.Generator,
+    ) -> SearchTrace:
+        """Traverse nodes once per |V| steps; restart a fresh traversal
+        when the budget allows (paper §5: "we start a new search episode
+        for Placeto after |V| steps")."""
+        placement = list(problem.validate_placement(initial_placement))
+        placements = [tuple(placement)]
+        values = [objective.evaluate(problem.cost_model, placement)]
+        relocations = np.zeros(problem.graph.num_tasks, dtype=int)
+        n = problem.graph.num_tasks
+        traversal = list(problem.graph.topo_order)
+        placed = np.zeros(n, dtype=bool)
+        position = 0
+        for _ in range(episode_length):
+            if position == len(traversal):  # new episode
+                position = 0
+                placed = np.zeros(n, dtype=bool)
+            node = traversal[position]
+            with no_grad():
+                device, _ = self.choose_device(problem, placement, node, placed)
+            if device != placement[node]:
+                relocations[node] += 1
+            placement[node] = device
+            placed[node] = True
+            position += 1
+            placements.append(tuple(placement))
+            values.append(objective.evaluate(problem.cost_model, placement))
+        return trace_from_values(placements, values, n, relocations.tolist())
+
+
+class PlacetoTrainer:
+    """REINFORCE over Placeto's traversal episodes."""
+
+    def __init__(
+        self,
+        agent: PlacetoAgent,
+        objective: Objective,
+        learning_rate: float = 0.01,
+        gamma: float = 0.97,
+        grad_clip: float = 10.0,
+    ) -> None:
+        self.agent = agent
+        self.objective = objective
+        self.gamma = gamma
+        self.grad_clip = grad_clip
+        self.optimizer = Adam(list(agent.parameters()), lr=learning_rate)
+
+    def run_episode(self, problem: PlacementProblem, rng: np.random.Generator) -> float:
+        from ..core.placement import random_placement
+
+        placement = list(random_placement(problem, rng))
+        value = self.objective.evaluate(problem.cost_model, placement)
+        placed = np.zeros(problem.graph.num_tasks, dtype=bool)
+        log_probs: list[Tensor] = []
+        rewards: list[float] = []
+        for node in problem.graph.topo_order:
+            device, log_prob = self.agent.choose_device(problem, placement, node, placed)
+            placement[node] = device
+            placed[node] = True
+            new_value = self.objective.evaluate(problem.cost_model, placement)
+            rewards.append(value - new_value)
+            log_probs.append(log_prob)
+            value = new_value
+
+        returns = discounted_returns(rewards, self.gamma)
+        baseline = average_reward_baseline(rewards)
+        discount = self.gamma ** np.arange(len(rewards))
+        advantages = discount * (returns - baseline)
+        loss = sum(lp * float(-adv) for lp, adv in zip(log_probs, advantages))
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.clip_grad_norm(self.grad_clip)
+        self.optimizer.step()
+        return float(sum(rewards))
+
+    def train(
+        self,
+        problems: Sequence[PlacementProblem],
+        rng: np.random.Generator,
+        episodes: int,
+    ) -> list[float]:
+        if not problems:
+            raise ValueError("training needs at least one problem")
+        return [
+            self.run_episode(problems[int(rng.integers(0, len(problems)))], rng)
+            for _ in range(episodes)
+        ]

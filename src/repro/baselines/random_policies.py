@@ -1,0 +1,70 @@
+"""Random baselines: placement sampling and random-task + EFT (paper §5)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.placement import PlacementProblem, random_placement
+from ..core.search import SearchTrace
+from ..sim.objectives import Objective
+from .base import trace_from_values
+from .eft import eft_device
+
+__all__ = ["RandomPlacementPolicy", "RandomTaskEftPolicy"]
+
+
+class RandomPlacementPolicy:
+    """Random placement sampling: a fresh uniform feasible placement per
+    step — "representative of the average placement quality"."""
+
+    name = "random"
+
+    def search(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        initial_placement: Sequence[int],
+        episode_length: int,
+        rng: np.random.Generator,
+    ) -> SearchTrace:
+        placements = [problem.validate_placement(initial_placement)]
+        values = [objective.evaluate(problem.cost_model, placements[0])]
+        for _ in range(episode_length):
+            placement = random_placement(problem, rng)
+            placements.append(placement)
+            values.append(objective.evaluate(problem.cost_model, placement))
+        return trace_from_values(placements, values, problem.graph.num_tasks)
+
+
+class RandomTaskEftPolicy:
+    """Random task selection + EFT device selection: HEFT adapted into a
+    search policy — pick a uniformly random task each step and relocate
+    it to its earliest-finish-time device."""
+
+    name = "random-task-eft"
+
+    def search(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        initial_placement: Sequence[int],
+        episode_length: int,
+        rng: np.random.Generator,
+    ) -> SearchTrace:
+        placement = list(problem.validate_placement(initial_placement))
+        placements = [tuple(placement)]
+        values = [objective.evaluate(problem.cost_model, placement)]
+        relocations = np.zeros(problem.graph.num_tasks, dtype=int)
+        for _ in range(episode_length):
+            task = int(rng.integers(0, problem.graph.num_tasks))
+            device = eft_device(problem, placement, task)
+            if device != placement[task]:
+                relocations[task] += 1
+            placement[task] = device
+            placements.append(tuple(placement))
+            values.append(objective.evaluate(problem.cost_model, placement))
+        return trace_from_values(
+            placements, values, problem.graph.num_tasks, relocations.tolist()
+        )

@@ -1,0 +1,211 @@
+"""GiPH-task-EFT: RL task selection + EFT device selection (paper §5, B.6).
+
+The gpNet ablation: "without using gpNet, selecting a task and deciding
+where to place it are done separately".  The agent embeds the *task
+graph* (one node per task, annotated with its current placement) rather
+than the joint task×device gpNet, scores tasks, and delegates the device
+choice to EFT.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.gnn import TwoWayMessagePassing
+from ..core.gpnet import GpNet
+from ..core.placement import PlacementProblem
+from ..core.policy import ScorePolicy
+from ..core.reinforce import average_reward_baseline, discounted_returns
+from ..core.search import SearchTrace
+from ..nn import Adam, Parameter, Tensor, no_grad
+from ..sim.executor import SimResult, simulate
+from ..sim.objectives import Objective
+from .base import trace_from_values
+from .eft import eft_device
+
+__all__ = ["build_task_view", "TaskEftAgent", "TaskEftTrainer"]
+
+
+def build_task_view(
+    problem: PlacementProblem, placement: Sequence[int], timeline: SimResult | None = None
+) -> GpNet:
+    """The task graph as a degenerate gpNet: one (pivot) node per task.
+
+    Node features: [C_i, SP_{M(i)}, w_{i,M(i)}, scheduled start time];
+    edge features: [B_ij, 1/BW, DL, c_ij] under the current placement.
+    Reusing the GpNet container lets the GiPH GNN run unchanged on the
+    task-level graph.
+    """
+    graph, cm = problem.graph, problem.cost_model
+    placement = problem.validate_placement(placement)
+    if timeline is None:
+        timeline = simulate(graph, problem.network, placement, cm)
+    speeds = problem.network.speeds
+
+    node_features = np.array(
+        [
+            [
+                graph.compute[i],
+                speeds[placement[i]],
+                cm.compute_time(i, placement[i]),
+                timeline.start[i],
+            ]
+            for i in range(graph.num_tasks)
+        ]
+    )
+    scale = np.abs(node_features).mean(axis=0)
+    node_features = node_features / np.where(scale > 1e-12, scale, 1.0)
+
+    with np.errstate(divide="ignore"):
+        inv_bw = np.where(
+            np.isinf(problem.network.bandwidth), 0.0, 1.0 / problem.network.bandwidth
+        )
+    src, dst, efeat = [], [], []
+    for (u, v), data in graph.edges.items():
+        du, dv = placement[u], placement[v]
+        src.append(u)
+        dst.append(v)
+        efeat.append(
+            [data, inv_bw[du, dv], problem.network.delay[du, dv], cm.comm_time((u, v), du, dv)]
+        )
+    edge_features = np.array(efeat) if efeat else np.zeros((0, 4))
+    if len(edge_features):
+        escale = np.abs(edge_features).mean(axis=0)
+        edge_features = edge_features / np.where(escale > 1e-12, escale, 1.0)
+
+    return GpNet(
+        task_of=np.arange(graph.num_tasks, dtype=np.int64),
+        device_of=np.array(placement, dtype=np.int64),
+        is_pivot=np.ones(graph.num_tasks, dtype=bool),
+        options=tuple(np.array([i]) for i in range(graph.num_tasks)),
+        edge_src=np.array(src, dtype=np.int64),
+        edge_dst=np.array(dst, dtype=np.int64),
+        node_features=node_features,
+        edge_features=edge_features,
+        placement=placement,
+    )
+
+
+class TaskEftAgent:
+    """Task-selection policy with EFT device selection."""
+
+    name = "giph-task-eft"
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.embedding = TwoWayMessagePassing(rng)
+        self.policy = ScorePolicy(self.embedding.out_dim, rng)
+        self.rng = rng
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield from self.embedding.parameters()
+        yield from self.policy.parameters()
+
+    def select_task(
+        self,
+        problem: PlacementProblem,
+        placement: Sequence[int],
+        last_task: int | None,
+        greedy: bool = False,
+    ) -> tuple[int, Tensor]:
+        """Sample a task to relocate; returns (task, log-prob tensor)."""
+        view = build_task_view(problem, placement)
+        embeddings = self.embedding(view)
+        mask = np.ones(problem.graph.num_tasks, dtype=bool)
+        if last_task is not None and problem.graph.num_tasks > 1:
+            mask[last_task] = False
+        return self.policy.sample(embeddings, mask, self.rng, greedy=greedy)
+
+    def search(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        initial_placement: Sequence[int],
+        episode_length: int,
+        rng: np.random.Generator,
+    ) -> SearchTrace:
+        placement = list(problem.validate_placement(initial_placement))
+        placements = [tuple(placement)]
+        values = [objective.evaluate(problem.cost_model, placement)]
+        relocations = np.zeros(problem.graph.num_tasks, dtype=int)
+        last_task: int | None = None
+        for _ in range(episode_length):
+            with no_grad():
+                task, _ = self.select_task(problem, placement, last_task)
+            device = eft_device(problem, placement, task)
+            if device != placement[task]:
+                relocations[task] += 1
+            placement[task] = device
+            last_task = task
+            placements.append(tuple(placement))
+            values.append(objective.evaluate(problem.cost_model, placement))
+        return trace_from_values(
+            placements, values, problem.graph.num_tasks, relocations.tolist()
+        )
+
+
+class TaskEftTrainer:
+    """REINFORCE over the task-selection policy (device choice fixed to EFT)."""
+
+    def __init__(
+        self,
+        agent: TaskEftAgent,
+        objective: Objective,
+        learning_rate: float = 0.01,
+        gamma: float = 0.97,
+        grad_clip: float = 10.0,
+    ) -> None:
+        self.agent = agent
+        self.objective = objective
+        self.gamma = gamma
+        self.grad_clip = grad_clip
+        self.optimizer = Adam(list(agent.parameters()), lr=learning_rate)
+
+    def run_episode(
+        self,
+        problem: PlacementProblem,
+        rng: np.random.Generator,
+        episode_length: int | None = None,
+    ) -> float:
+        """One on-policy episode + gradient step; returns total reward."""
+        from ..core.placement import random_placement
+
+        steps = episode_length or 2 * problem.graph.num_tasks
+        placement = list(random_placement(problem, rng))
+        value = self.objective.evaluate(problem.cost_model, placement)
+        log_probs: list[Tensor] = []
+        rewards: list[float] = []
+        last_task: int | None = None
+        for _ in range(steps):
+            task, log_prob = self.agent.select_task(problem, placement, last_task)
+            placement[task] = eft_device(problem, placement, task)
+            last_task = task
+            new_value = self.objective.evaluate(problem.cost_model, placement)
+            rewards.append(value - new_value)
+            log_probs.append(log_prob)
+            value = new_value
+
+        returns = discounted_returns(rewards, self.gamma)
+        baseline = average_reward_baseline(rewards)
+        discount = self.gamma ** np.arange(len(rewards))
+        advantages = discount * (returns - baseline)
+        loss = sum(lp * float(-adv) for lp, adv in zip(log_probs, advantages))
+        self.optimizer.zero_grad()
+        loss.backward()
+        self.optimizer.clip_grad_norm(self.grad_clip)
+        self.optimizer.step()
+        return float(sum(rewards))
+
+    def train(
+        self,
+        problems: Sequence[PlacementProblem],
+        rng: np.random.Generator,
+        episodes: int,
+    ) -> list[float]:
+        if not problems:
+            raise ValueError("training needs at least one problem")
+        return [
+            self.run_episode(problems[int(rng.integers(0, len(problems)))], rng)
+            for _ in range(episodes)
+        ]

@@ -1,0 +1,58 @@
+"""Cooperative sensor-fusion case study (paper §5.3): traffic simulation,
+pipeline construction, measured latency/relocation models."""
+
+from .comms import bandwidth_matrix, mbps_to_bytes_per_ms, wireless_bandwidth_mbps
+from .devicemodel import LatencyFit, fit_latency_model
+from .measurements import (
+    DEVICE_POWER_WATTS,
+    DEVICE_TYPES,
+    TABLE1_MEAN_MS,
+    TABLE1_STD_MS,
+    TABLE2_RELOCATION,
+    TASK_KINDS,
+)
+from .pipeline import (
+    PIN_BASE,
+    REQ_COMPUTE,
+    REQ_GPU,
+    CaseStudyScenario,
+    EdgeDeviceLayout,
+    PipelineConfig,
+    SensorFusionBuilder,
+)
+from .trace import TraceConfig, extract_trace
+from .traffic import (
+    Intersection,
+    TrafficConfig,
+    TrafficSimulation,
+    TrafficSnapshot,
+    VehicleState,
+)
+
+__all__ = [
+    "wireless_bandwidth_mbps",
+    "mbps_to_bytes_per_ms",
+    "bandwidth_matrix",
+    "LatencyFit",
+    "fit_latency_model",
+    "TASK_KINDS",
+    "DEVICE_TYPES",
+    "TABLE1_MEAN_MS",
+    "TABLE1_STD_MS",
+    "TABLE2_RELOCATION",
+    "DEVICE_POWER_WATTS",
+    "REQ_COMPUTE",
+    "REQ_GPU",
+    "PIN_BASE",
+    "PipelineConfig",
+    "EdgeDeviceLayout",
+    "CaseStudyScenario",
+    "SensorFusionBuilder",
+    "TraceConfig",
+    "extract_trace",
+    "TrafficConfig",
+    "TrafficSimulation",
+    "TrafficSnapshot",
+    "VehicleState",
+    "Intersection",
+]

@@ -1,0 +1,60 @@
+"""Case-study communication model (paper §B.4).
+
+Wireless bandwidth decays exponentially with distance:
+
+    BW(d) = 60 · exp(−d / 100) Mbps
+
+Infrastructure cameras are wired to their RSU at a fixed high rate.
+Bandwidths are converted to bytes/ms so the simulator's time unit is
+milliseconds throughout the case study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["wireless_bandwidth_mbps", "mbps_to_bytes_per_ms", "bandwidth_matrix"]
+
+#: Wired CIS -> RSU link rate (Mbps).
+WIRED_MBPS = 1000.0
+
+#: Floor so far-apart devices remain technically connected (the paper
+#: attaches very high cost to non-links rather than removing them).
+MIN_MBPS = 1e-3
+
+
+def wireless_bandwidth_mbps(distance_m: float) -> float:
+    """BW = 60·exp(−d/100) Mbps, floored at MIN_MBPS."""
+    if distance_m < 0:
+        raise ValueError("distance must be non-negative")
+    return max(60.0 * float(np.exp(-distance_m / 100.0)), MIN_MBPS)
+
+
+def mbps_to_bytes_per_ms(mbps: float) -> float:
+    """1 Mbps = 10^6 bits/s = 125 bytes/ms."""
+    return mbps * 125.0
+
+
+def bandwidth_matrix(
+    positions: list[tuple[float, float]],
+    wired_pairs: set[tuple[int, int]] | None = None,
+) -> np.ndarray:
+    """(m, m) bandwidth matrix in bytes/ms from device positions.
+
+    ``wired_pairs`` (symmetric, by index) get the wired rate regardless
+    of distance.  Diagonal is +inf (local transfer is free).
+    """
+    m = len(positions)
+    pos = np.asarray(positions, dtype=np.float64)
+    wired_pairs = wired_pairs or set()
+    bw = np.empty((m, m))
+    for i in range(m):
+        for j in range(m):
+            if i == j:
+                bw[i, j] = np.inf
+            elif (i, j) in wired_pairs or (j, i) in wired_pairs:
+                bw[i, j] = mbps_to_bytes_per_ms(WIRED_MBPS)
+            else:
+                d = float(np.hypot(*(pos[i] - pos[j])))
+                bw[i, j] = mbps_to_bytes_per_ms(wireless_bandwidth_mbps(d))
+    return bw

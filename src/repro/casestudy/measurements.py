@@ -1,0 +1,74 @@
+"""Real-world measurements from the paper's case study (Tables 1 and 2).
+
+Table 1: running time (ms, mean ± std) of each sensor-fusion task on
+Jetson Nano (Type A), Jetson TX2 (Type B) and Core i7 7700K + GTX 1080
+(Type C).  Table 2: relocation overhead of each task measured in a
+small-scale deployment.  These constants are the paper's own hardware
+reduction; the simulated case study starts from the same numbers.
+"""
+
+from __future__ import annotations
+
+from ..sim.relocation import TaskRelocationProfile
+
+__all__ = [
+    "TASK_KINDS",
+    "DEVICE_TYPES",
+    "TABLE1_MEAN_MS",
+    "TABLE1_STD_MS",
+    "TABLE2_RELOCATION",
+    "DEVICE_POWER_WATTS",
+]
+
+#: Task kinds, in Table-1 row order.
+TASK_KINDS = ("camera", "lidar", "cav_fusion", "rsu_fusion")
+
+#: Device types, in Table-1 column order.
+DEVICE_TYPES = ("A", "B", "C")
+
+#: Table 1 means (ms): rows = TASK_KINDS, columns = DEVICE_TYPES.
+TABLE1_MEAN_MS: dict[str, dict[str, float]] = {
+    "camera": {"A": 53.0, "B": 36.0, "C": 9.0},
+    "lidar": {"A": 14.0, "B": 7.0, "C": 3.0},
+    "cav_fusion": {"A": 35.0, "B": 35.0, "C": 11.0},
+    "rsu_fusion": {"A": 250.0, "B": 250.0, "C": 28.0},
+}
+
+#: Table 1 standard deviations (ms).
+TABLE1_STD_MS: dict[str, dict[str, float]] = {
+    "camera": {"A": 22.0, "B": 8.0, "C": 4.0},
+    "lidar": {"A": 3.0, "B": 3.0, "C": 2.0},
+    "cav_fusion": {"A": 9.0, "B": 4.0, "C": 9.0},
+    "rsu_fusion": {"A": 430.0, "B": 370.0, "C": 22.0},
+}
+
+#: Table 2: relocation overhead per task.  Startup times were measured on
+#: Types A and C; Type B (between A and C in capability) is interpolated
+#: geometrically, documented as a substitution in DESIGN.md.
+TABLE2_RELOCATION: dict[str, TaskRelocationProfile] = {
+    "camera": TaskRelocationProfile(
+        migration_bytes=11494.0,
+        static_init_kbytes=72173.525,
+        startup_ms_by_type={"A": 4273.73, "B": 1843.0, "C": 794.66},
+    ),
+    "lidar": TaskRelocationProfile(
+        migration_bytes=560.0,
+        static_init_kbytes=24.576,
+        startup_ms_by_type={"A": 60.98, "B": 23.8, "C": 9.26},
+    ),
+    "cav_fusion": TaskRelocationProfile(
+        migration_bytes=11796.0,
+        static_init_kbytes=38.110,
+        startup_ms_by_type={"A": 0.39, "B": 0.21, "C": 0.11},
+    ),
+    "rsu_fusion": TaskRelocationProfile(
+        migration_bytes=20907.0,
+        static_init_kbytes=38.950,
+        startup_ms_by_type={"A": 2.83, "B": 1.68, "C": 1.00},
+    ),
+}
+
+#: Nominal sustained power draw per device type (watts), used by the
+#: energy objective: Jetson Nano ~10 W, Jetson TX2 ~15 W, i7 + GTX1080
+#: ~250 W under load.
+DEVICE_POWER_WATTS: dict[str, float] = {"A": 10.0, "B": 15.0, "C": 250.0}

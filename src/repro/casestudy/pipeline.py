@@ -1,0 +1,293 @@
+"""Sensor-fusion application pipelines for CAV intersection management.
+
+Builds, for one traffic snapshot and one intersection, the dataflow task
+graph of Fig. 8(b) — infrastructure-camera and CAV sensor acquisition,
+GPU detection tasks, per-CAV fusion, RSU fusion, and per-CAV actuation —
+together with the device network in range (RSU, CISs, CAVs, nearby edge
+devices) under the fitted latency model.
+
+Hardware-requirement scheme (the paper's placement constraints):
+
+* ``REQ_COMPUTE`` (1): any compute device (fusion tasks);
+* ``REQ_GPU`` (2): GPU-equipped devices — all of types A/B/C but not
+  sensor-only infrastructure cameras (detection tasks "need to run on
+  GPUs", §5.3);
+* ``PIN_BASE + k``: pinned to one concrete device (sensor acquisition on
+  its sensor, actuation on its CAV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.placement import PlacementProblem
+from ..devices.network import Device, DeviceNetwork
+from ..graphs.task_graph import TaskGraph
+from ..sim.latency import CostModel
+from .comms import bandwidth_matrix
+from .devicemodel import LatencyFit
+from .measurements import DEVICE_POWER_WATTS
+from .traffic import Intersection, TrafficSnapshot
+
+__all__ = [
+    "REQ_COMPUTE",
+    "REQ_GPU",
+    "PIN_BASE",
+    "PipelineConfig",
+    "EdgeDeviceLayout",
+    "CaseStudyScenario",
+    "SensorFusionBuilder",
+]
+
+REQ_COMPUTE = 1
+REQ_GPU = 2
+PIN_BASE = 100
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Data sizes (bytes) and fleet layout of the case study.
+
+    Defaults follow §5.3: 40 extra edge devices (10 A / 10 B / 20 C)
+    scattered over the area; data volumes approximate the Andert &
+    Shrivastava (2022) pipelines (compressed camera frames, LIDAR point
+    clouds, compact detection/fusion messages).
+    """
+
+    camera_frame_bytes: float = 150_000.0
+    lidar_cloud_bytes: float = 60_000.0
+    detection_bytes: float = 20_000.0
+    fusion_bytes: float = 20_000.0
+    plan_bytes: float = 5_000.0
+    edge_devices_a: int = 10
+    edge_devices_b: int = 10
+    edge_devices_c: int = 20
+    edge_device_radius_m: float = 400.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "camera_frame_bytes",
+            "lidar_cloud_bytes",
+            "detection_bytes",
+            "fusion_bytes",
+            "plan_bytes",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if min(self.edge_devices_a, self.edge_devices_b, self.edge_devices_c) < 0:
+            raise ValueError("edge device counts must be non-negative")
+
+
+@dataclass(frozen=True)
+class EdgeDeviceLayout:
+    """Positions and types of the extra roadside edge devices."""
+
+    positions: tuple[tuple[float, float], ...]
+    types: tuple[str, ...]
+
+    @staticmethod
+    def random(
+        config: PipelineConfig,
+        area: tuple[float, float],
+        rng: np.random.Generator,
+    ) -> "EdgeDeviceLayout":
+        count = config.edge_devices_a + config.edge_devices_b + config.edge_devices_c
+        xs = rng.uniform(0.0, area[0], size=count)
+        ys = rng.uniform(0.0, area[1], size=count)
+        types = ["A"] * config.edge_devices_a + ["B"] * config.edge_devices_b + [
+            "C"
+        ] * config.edge_devices_c
+        return EdgeDeviceLayout(
+            positions=tuple((float(x), float(y)) for x, y in zip(xs, ys)),
+            types=tuple(types),
+        )
+
+
+@dataclass(frozen=True)
+class CaseStudyScenario:
+    """One placement case extracted from the trace (paper: 900+ of these)."""
+
+    problem: PlacementProblem
+    task_kinds: tuple[str, ...]  # per task: sensor/camera/lidar/cav_fusion/rsu_fusion/actuation
+    device_types: dict[int, str]  # device uid -> "A"/"B"/"C"/"CIS"
+    intersection_id: int
+    time_s: float
+    num_cavs: int
+
+
+class SensorFusionBuilder:
+    """Builds :class:`CaseStudyScenario` instances from traffic snapshots."""
+
+    def __init__(
+        self,
+        fit: LatencyFit,
+        config: PipelineConfig,
+        layout: EdgeDeviceLayout,
+        interaction_radius_m: float = 400.0,
+    ) -> None:
+        self.fit = fit
+        self.config = config
+        self.layout = layout
+        self.interaction_radius_m = interaction_radius_m
+
+    # -- device helpers -------------------------------------------------------
+
+    @staticmethod
+    def _cav_type(vid: int) -> str:
+        """CAV onboard compute: Jetson Nano or TX2 (Fig. 10), by vehicle."""
+        return "A" if vid % 2 == 0 else "B"
+
+    def _device(
+        self, uid: int, dtype: str, position: tuple[float, float], pins: set[int]
+    ) -> Device:
+        if dtype == "CIS":
+            return Device(
+                uid=uid,
+                speed=1e-3,
+                supports=frozenset(pins),
+                compute_power=1.0,
+                position=position,
+            )
+        return Device(
+            uid=uid,
+            speed=1.0 / self.fit.unit_time[dtype],
+            supports=frozenset({REQ_COMPUTE, REQ_GPU} | pins),
+            compute_power=DEVICE_POWER_WATTS[dtype],
+            position=position,
+        )
+
+    # -- scenario construction ---------------------------------------------------
+
+    def build_scenario(
+        self, snapshot: TrafficSnapshot, intersection: Intersection
+    ) -> CaseStudyScenario | None:
+        """The placement case for one intersection at one instant.
+
+        Returns None when no CAV interacts with the intersection (no
+        pipeline to place).
+        """
+        cavs = snapshot.cavs_near(intersection, self.interaction_radius_m)
+        if not cavs:
+            return None
+
+        devices: list[Device] = []
+        device_types: dict[int, str] = {}
+        positions: list[tuple[float, float]] = []
+        wired_pairs: set[tuple[int, int]] = set()
+        pin_of: dict[int, int] = {}  # device uid -> its pin requirement
+        next_pin = PIN_BASE
+
+        def add_device(uid: int, dtype: str, position: tuple[float, float], pinned: bool):
+            nonlocal next_pin
+            pins: set[int] = set()
+            if pinned:
+                pins.add(next_pin)
+                pin_of[uid] = next_pin
+                next_pin += 1
+            devices.append(self._device(uid, dtype, position, pins))
+            device_types[uid] = dtype
+            positions.append(position)
+
+        # RSU (type C) at the intersection; index 0.
+        rsu_uid = 1000 + intersection.iid
+        add_device(rsu_uid, "C", intersection.position, pinned=True)
+
+        # Four wired infrastructure cameras around the intersection.
+        cis_uids = []
+        for cam in range(intersection.num_cameras):
+            uid = 2000 + intersection.iid * 10 + cam
+            dx, dy = [(15.0, 15.0), (-15.0, 15.0), (15.0, -15.0), (-15.0, -15.0)][cam % 4]
+            pos = (intersection.position[0] + dx, intersection.position[1] + dy)
+            add_device(uid, "CIS", pos, pinned=True)
+            wired_pairs.add((0, len(devices) - 1))  # wired to the RSU
+            cis_uids.append(uid)
+
+        # Interacting CAVs.
+        cav_uids = []
+        for v in cavs:
+            uid = 3000 + v.vid
+            add_device(uid, self._cav_type(v.vid), v.position, pinned=True)
+            cav_uids.append(uid)
+
+        # Edge devices within range of the intersection.
+        ix, iy = intersection.position
+        for k, (pos, dtype) in enumerate(zip(self.layout.positions, self.layout.types)):
+            if np.hypot(pos[0] - ix, pos[1] - iy) <= self.config.edge_device_radius_m:
+                add_device(4000 + k, dtype, pos, pinned=False)
+
+        uid_index = {d.uid: i for i, d in enumerate(devices)}
+
+        # -- task graph (Fig. 8b) ------------------------------------------------
+        cfg = self.config
+        compute: list[float] = []
+        kinds: list[str] = []
+        reqs: list[int] = []
+        edges: dict[tuple[int, int], float] = {}
+
+        def add_task(kind: str, requirement: int) -> int:
+            compute.append(0.0 if kind in ("sensor", "actuation") else self.fit.compute[kind])
+            kinds.append(kind)
+            reqs.append(requirement)
+            return len(compute) - 1
+
+        rsu_fusion = add_task("rsu_fusion", REQ_COMPUTE)
+
+        for uid in cis_uids:
+            acq = add_task("sensor", pin_of[uid])
+            proc = add_task("camera", REQ_GPU)
+            edges[(acq, proc)] = cfg.camera_frame_bytes
+            edges[(proc, rsu_fusion)] = cfg.detection_bytes
+
+        actuations = []
+        for uid in cav_uids:
+            cam_acq = add_task("sensor", pin_of[uid])
+            cam_proc = add_task("camera", REQ_GPU)
+            lid_acq = add_task("sensor", pin_of[uid])
+            lid_proc = add_task("lidar", REQ_GPU)
+            fusion = add_task("cav_fusion", REQ_COMPUTE)
+            act = add_task("actuation", pin_of[uid])
+            edges[(cam_acq, cam_proc)] = cfg.camera_frame_bytes
+            edges[(lid_acq, lid_proc)] = cfg.lidar_cloud_bytes
+            edges[(cam_proc, fusion)] = cfg.detection_bytes
+            edges[(lid_proc, fusion)] = cfg.detection_bytes
+            edges[(fusion, rsu_fusion)] = cfg.fusion_bytes
+            edges[(rsu_fusion, act)] = cfg.plan_bytes
+            actuations.append(act)
+
+        graph = TaskGraph(
+            compute=tuple(compute),
+            edges=edges,
+            requirements=tuple(reqs),
+            name=f"fusion-i{intersection.iid}-t{int(snapshot.time_s)}",
+        )
+
+        bw = bandwidth_matrix(positions, wired_pairs)
+        delay = np.zeros((len(devices), len(devices)))
+        network = DeviceNetwork(
+            devices, bw, delay, name=f"net-i{intersection.iid}-t{int(snapshot.time_s)}"
+        )
+
+        # Affine latency model: w = C_i·T_j + S_j for processing tasks on
+        # compute devices; 0 for instantaneous sensor/actuation tasks.
+        w = np.zeros((graph.num_tasks, network.num_devices))
+        for i, kind in enumerate(kinds):
+            if kind in ("sensor", "actuation"):
+                continue
+            for j, d in enumerate(devices):
+                dtype = device_types[d.uid]
+                if dtype == "CIS":
+                    w[i, j] = 1e9  # sensor-only device; infeasible anyway
+                else:
+                    w[i, j] = self.fit.predicted_ms(kind, dtype)
+        cost_model = CostModel(graph, network, compute_matrix=w)
+
+        return CaseStudyScenario(
+            problem=PlacementProblem(graph, network, cost_model),
+            task_kinds=tuple(kinds),
+            device_types=device_types,
+            intersection_id=intersection.iid,
+            time_s=snapshot.time_s,
+            num_cavs=len(cavs),
+        )

@@ -1,0 +1,181 @@
+"""Grid-road traffic simulation (SUMO substitute, paper §5.3).
+
+The paper simulates a 6-block area of Tempe AZ with SUMO: 36 RSUs at
+major intersections, four infrastructure cameras each, and an hour of
+traffic (3 980 vehicles, 10 % connected) sampled every 10 s.  SUMO is
+unavailable offline, so this module provides a microscopic grid-road
+mobility model producing the same artifact the placement experiments
+consume: time-stamped positions of connected vehicles relative to the
+fixed infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TrafficConfig", "Intersection", "VehicleState", "TrafficSnapshot", "TrafficSimulation"]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Mobility-model parameters mirroring the paper's SUMO setup.
+
+    Defaults give the paper's scale: a 6×6 intersection grid (36 RSUs),
+    one hour of traffic with 3 980 vehicles at 10 % CAV penetration,
+    snapshots every 10 s, 400 m interaction radius.
+    """
+
+    grid_rows: int = 6
+    grid_cols: int = 6
+    block_meters: float = 200.0
+    duration_s: float = 3600.0
+    snapshot_interval_s: float = 10.0
+    num_vehicles: int = 3980
+    cav_fraction: float = 0.10
+    speed_mps: tuple[float, float] = (8.0, 16.0)
+    interaction_radius_m: float = 400.0
+
+    def __post_init__(self) -> None:
+        if self.grid_rows < 1 or self.grid_cols < 1:
+            raise ValueError("grid must have at least one intersection")
+        if self.duration_s <= 0 or self.snapshot_interval_s <= 0:
+            raise ValueError("durations must be positive")
+        if not 0.0 <= self.cav_fraction <= 1.0:
+            raise ValueError("cav_fraction must be in [0, 1]")
+        if self.num_vehicles < 0:
+            raise ValueError("num_vehicles must be non-negative")
+        if self.speed_mps[0] <= 0 or self.speed_mps[1] < self.speed_mps[0]:
+            raise ValueError("speed range invalid")
+
+    @property
+    def num_intersections(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+
+@dataclass(frozen=True)
+class Intersection:
+    """An RSU-equipped intersection with four infrastructure cameras."""
+
+    iid: int
+    position: tuple[float, float]
+    num_cameras: int = 4
+
+
+@dataclass(frozen=True)
+class VehicleState:
+    """One vehicle's state at a snapshot instant."""
+
+    vid: int
+    position: tuple[float, float]
+    is_cav: bool
+
+
+@dataclass(frozen=True)
+class TrafficSnapshot:
+    """All vehicle states at one sample time (10 s cadence in the paper)."""
+
+    time_s: float
+    vehicles: tuple[VehicleState, ...]
+
+    def cavs(self) -> tuple[VehicleState, ...]:
+        return tuple(v for v in self.vehicles if v.is_cav)
+
+    def cavs_near(self, intersection: Intersection, radius_m: float) -> tuple[VehicleState, ...]:
+        ix, iy = intersection.position
+        return tuple(
+            v
+            for v in self.cavs()
+            if (v.position[0] - ix) ** 2 + (v.position[1] - iy) ** 2 <= radius_m**2
+        )
+
+
+class TrafficSimulation:
+    """Vehicles random-walking the grid's road segments.
+
+    Vehicles spawn uniformly over the hour at a random intersection,
+    drive along grid roads at a constant per-vehicle speed, turn
+    uniformly at intersections, and despawn after their trip time.
+    """
+
+    def __init__(self, config: TrafficConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+        self.intersections = tuple(
+            Intersection(
+                iid=r * config.grid_cols + c,
+                position=(c * config.block_meters, r * config.block_meters),
+            )
+            for r in range(config.grid_rows)
+            for c in range(config.grid_cols)
+        )
+        n = config.num_vehicles
+        self._spawn = np.sort(rng.uniform(0.0, config.duration_s, size=n))
+        self._trip_s = rng.uniform(120.0, 900.0, size=n)
+        self._speed = rng.uniform(*config.speed_mps, size=n)
+        self._is_cav = rng.random(n) < config.cav_fraction
+        # Random grid-walk itinerary per vehicle: a start node and a
+        # sequence of moves; positions are interpolated along segments.
+        self._start_node = rng.integers(0, config.num_intersections, size=n)
+        self._routes = [self._random_route(int(s)) for s in self._start_node]
+
+    def _random_route(self, start: int, hops: int = 64) -> np.ndarray:
+        cfg = self.config
+        route = [start]
+        node = start
+        for _ in range(hops):
+            r, c = divmod(node, cfg.grid_cols)
+            moves = []
+            if r > 0:
+                moves.append(node - cfg.grid_cols)
+            if r < cfg.grid_rows - 1:
+                moves.append(node + cfg.grid_cols)
+            if c > 0:
+                moves.append(node - 1)
+            if c < cfg.grid_cols - 1:
+                moves.append(node + 1)
+            prev = route[-2] if len(route) >= 2 else None
+            if len(moves) > 1 and prev in moves:
+                moves.remove(prev)  # avoid immediate U-turns when possible
+            node = int(self.rng.choice(moves))
+            route.append(node)
+        return np.array(route)
+
+    def _position(self, vid: int, t: float) -> tuple[float, float] | None:
+        """Vehicle position at absolute time t, or None if not on road."""
+        cfg = self.config
+        spawn = self._spawn[vid]
+        if t < spawn or t > spawn + self._trip_s[vid] or t > cfg.duration_s:
+            return None
+        distance = (t - spawn) * self._speed[vid]
+        route = self._routes[vid]
+        seg, offset = divmod(distance, cfg.block_meters)
+        seg = int(seg)
+        if seg >= len(route) - 1:
+            return None  # route exhausted; vehicle has left the area
+        a, b = route[seg], route[seg + 1]
+        ar, ac = divmod(int(a), cfg.grid_cols)
+        br, bc = divmod(int(b), cfg.grid_cols)
+        frac = offset / cfg.block_meters
+        x = (ac + (bc - ac) * frac) * cfg.block_meters
+        y = (ar + (br - ar) * frac) * cfg.block_meters
+        return (float(x), float(y))
+
+    def snapshot(self, t: float) -> TrafficSnapshot:
+        """Vehicle states at time ``t``."""
+        states = []
+        for vid in range(self.config.num_vehicles):
+            pos = self._position(vid, t)
+            if pos is not None:
+                states.append(VehicleState(vid=vid, position=pos, is_cav=bool(self._is_cav[vid])))
+        return TrafficSnapshot(time_s=t, vehicles=tuple(states))
+
+    def snapshots(self) -> list[TrafficSnapshot]:
+        """The full trace at the configured sampling cadence."""
+        times = np.arange(
+            self.config.snapshot_interval_s,
+            self.config.duration_s + 1e-9,
+            self.config.snapshot_interval_s,
+        )
+        return [self.snapshot(float(t)) for t in times]

@@ -1,0 +1,212 @@
+"""Command-line interface mirroring the paper artifact's main.py workflow.
+
+Subcommands (Artifact Appendix A.5-A.6):
+
+* ``train``       — train a GiPH policy on synthetic data and save a run
+                    directory with model checkpoints and episodic stats;
+* ``test``        — load a checkpoint and evaluate it on fresh test cases
+                    against random / HEFT references;
+* ``generate``    — sample task graphs and device networks and describe
+                    them (the Generate_data.ipynb equivalent);
+* ``experiment``  — run one of the paper's table/figure experiments.
+
+Usage:  python -m repro train --episodes 50 --logdir runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GiPH reproduction: train/evaluate placement policies",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a GiPH policy on synthetic data")
+    train.add_argument("--episodes", type=int, default=50)
+    train.add_argument("--num-tasks", type=int, default=12)
+    train.add_argument("--num-devices", type=int, default=6)
+    train.add_argument("--train-graphs", type=int, default=8)
+    train.add_argument("--embedding", default="giph",
+                       help="giph | giph-<k> | giph-ne | graphsage-ne | giph-ne-pol")
+    train.add_argument("--objective", default="makespan",
+                       choices=["makespan", "total-cost", "energy"])
+    train.add_argument("--lr", type=float, default=0.01)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--logdir", default="runs")
+
+    test = sub.add_parser("test", help="evaluate a saved policy on fresh cases")
+    test.add_argument("--run-folder", required=True,
+                      help="run directory created by `repro train`")
+    test.add_argument("--num-testing-cases", type=int, default=20)
+    test.add_argument("--noise", type=float, default=0.0)
+    test.add_argument("--seed", type=int, default=1)
+
+    gen = sub.add_parser("generate", help="sample and describe synthetic data")
+    gen.add_argument("--num-tasks", type=int, default=12)
+    gen.add_argument("--num-devices", type=int, default=6)
+    gen.add_argument("--count", type=int, default=3)
+    gen.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiment", help="run a paper table/figure experiment")
+    exp.add_argument("id", help="fig4|fig5|fig6|fig7|fig9|fig11|fig14|fig15|fig16|"
+                                "table1|table6|table7")
+    exp.add_argument("--scale", default=None, choices=["quick", "paper"])
+    exp.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _objective(name: str):
+    from .sim import EnergyObjective, MakespanObjective, TotalCostObjective
+
+    return {
+        "makespan": MakespanObjective(),
+        "total-cost": TotalCostObjective(),
+        "energy": EnergyObjective(),
+    }[name]
+
+
+def _problems(num_tasks: int, num_devices: int, count: int, rng: np.random.Generator):
+    from .core import PlacementProblem
+    from .devices import DeviceNetworkParams, generate_device_network
+    from .graphs import TaskGraphParams, generate_task_graph
+
+    out = []
+    for _ in range(count):
+        graph = generate_task_graph(TaskGraphParams(num_tasks=num_tasks), rng)
+        network = generate_device_network(DeviceNetworkParams(num_devices=num_devices), rng)
+        out.append(PlacementProblem(graph, network))
+    return out
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from .core import GiPHAgent, ReinforceConfig, ReinforceTrainer
+    from .core.serialization import save_agent
+
+    rng = np.random.default_rng(args.seed)
+    problems = _problems(args.num_tasks, args.num_devices, args.train_graphs, rng)
+    agent = GiPHAgent(rng, embedding=args.embedding)
+    config = ReinforceConfig(learning_rate=args.lr, episodes=args.episodes)
+    trainer = ReinforceTrainer(agent, _objective(args.objective), config)
+
+    stamp = time.strftime("%Y-%m-%d_%H-%M-%S")
+    run_dir = pathlib.Path(args.logdir) / f"{stamp}_{args.embedding}"
+    run_dir.mkdir(parents=True, exist_ok=True)
+
+    print(f"training {args.embedding} for {args.episodes} episodes "
+          f"({args.train_graphs} graphs of {args.num_tasks} tasks on "
+          f"{args.num_devices} devices)")
+    trainer.train(problems, rng, callback=lambda s: print(
+        f"  episode {s.episode:4d}: reward {s.total_reward:+9.3f} "
+        f"best {s.best_value:9.3f}"
+    ) if s.episode % max(args.episodes // 10, 1) == 0 else None)
+
+    save_agent(agent, run_dir / "agent.npz")
+    history = [
+        {
+            "episode": s.episode,
+            "initial": s.initial_value,
+            "final": s.final_value,
+            "best": s.best_value,
+            "reward": s.total_reward,
+        }
+        for s in trainer.history
+    ]
+    (run_dir / "train_data.json").write_text(json.dumps(history, indent=1))
+    (run_dir / "args.json").write_text(json.dumps(vars(args), indent=1))
+    print(f"saved run to {run_dir}")
+    return 0
+
+
+def cmd_test(args: argparse.Namespace) -> int:
+    from .baselines import heft_placement
+    from .core import random_placement, run_search
+    from .core.serialization import load_agent
+    from .sim import MakespanObjective, cp_min_lower_bound
+
+    run_dir = pathlib.Path(args.run_folder)
+    train_args = json.loads((run_dir / "args.json").read_text())
+    rng = np.random.default_rng(args.seed)
+    agent = load_agent(run_dir / "agent.npz", rng)
+
+    problems = _problems(
+        train_args["num_tasks"], train_args["num_devices"], args.num_testing_cases, rng
+    )
+    if args.noise > 0:
+        objective = MakespanObjective(noise=args.noise, rng=rng)
+    else:
+        objective = MakespanObjective()
+
+    rows = []
+    for i, problem in enumerate(problems):
+        initial = random_placement(problem, rng)
+        trace = run_search(agent, problem, objective, initial)
+        bound = cp_min_lower_bound(problem.cost_model)
+        heft_val = objective.evaluate(problem.cost_model, heft_placement(problem).placement)
+        rows.append((trace.values[0] / bound, trace.best_value / bound, heft_val / bound))
+        print(f"case {i:3d}: initial SLR {rows[-1][0]:6.2f}  "
+              f"giph {rows[-1][1]:6.2f}  heft {rows[-1][2]:6.2f}")
+    arr = np.array(rows)
+    print(f"\nmean over {len(problems)} cases: initial {arr[:,0].mean():.3f}  "
+          f"giph {arr[:,1].mean():.3f}  heft {arr[:,2].mean():.3f}")
+
+    test_dir = run_dir / f"test_{time.strftime('%Y-%m-%d_%H-%M-%S')}"
+    test_dir.mkdir(exist_ok=True)
+    (test_dir / "eval_data.json").write_text(json.dumps(arr.tolist(), indent=1))
+    print(f"saved evaluation to {test_dir}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    problems = _problems(args.num_tasks, args.num_devices, args.count, rng)
+    for i, p in enumerate(problems):
+        g, n = p.graph, p.network
+        sizes = [len(s) for s in p.feasible_sets]
+        print(f"instance {i}: {g!r}")
+        print(f"  devices: {n.num_devices}, speeds "
+              f"{np.array([d.speed for d in n.devices]).round(2).tolist()}")
+        print(f"  action space |A| = {p.num_actions}, "
+              f"state space |S| = {p.state_space_size():.0f}")
+        print(f"  feasible devices per task: min {min(sizes)}, "
+              f"mean {np.mean(sizes):.1f}, max {max(sizes)}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    from .experiments import PAPER, QUICK, active_scale
+
+    module = importlib.import_module(f"repro.experiments.{args.id}")
+    scale = {"quick": QUICK, "paper": PAPER}.get(args.scale) if args.scale else active_scale()
+    report = module.run(scale, seed=args.seed)
+    print(report.text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "train": cmd_train,
+        "test": cmd_test,
+        "generate": cmd_generate,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""The GiPH placement agent: GNN embedding + score policy (paper Fig. 3)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..nn import Parameter, Tensor, no_grad
+from .env import EnvState, PlacementEnv
+from .gnn import GpNetEmbedding, make_embedding
+from .policy import ScorePolicy
+
+__all__ = ["GiPHAgent"]
+
+
+class GiPHAgent:
+    """Selects task-relocation actions from gpNet states.
+
+    Parameters
+    ----------
+    embedding: a :class:`GpNetEmbedding` (or a ``kind`` string for
+        :func:`repro.core.gnn.make_embedding`).
+    rng: random source for parameter init and action sampling.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        embedding: GpNetEmbedding | str = "giph",
+        policy_hidden: int = 16,
+    ) -> None:
+        if isinstance(embedding, str):
+            embedding = make_embedding(embedding, rng)
+        self.embedding = embedding
+        self.policy = ScorePolicy(embedding.out_dim, rng, hidden_dim=policy_hidden)
+        self.rng = rng
+
+    def parameters(self) -> Iterator[Parameter]:
+        yield from self.embedding.parameters()
+        yield from self.policy.parameters()
+
+    def zero_grad(self) -> None:
+        self.embedding.zero_grad()
+        self.policy.zero_grad()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = {f"embedding.{k}": v for k, v in self.embedding.state_dict().items()}
+        state.update({f"policy.{k}": v for k, v in self.policy.state_dict().items()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self.embedding.load_state_dict(
+            {k[len("embedding.") :]: v for k, v in state.items() if k.startswith("embedding.")}
+        )
+        self.policy.load_state_dict(
+            {k[len("policy.") :]: v for k, v in state.items() if k.startswith("policy.")}
+        )
+
+    # -- acting ---------------------------------------------------------------
+
+    def act(
+        self, env: PlacementEnv, state: EnvState, greedy: bool = False
+    ) -> tuple[int, Tensor]:
+        """Choose a gpNet node (action); returns (node, log-prob tensor)."""
+        embeddings = self.embedding(state.gpnet)
+        mask = env.action_mask(state)
+        return self.policy.sample(embeddings, mask, self.rng, greedy=greedy)
+
+    def act_inference(self, env: PlacementEnv, state: EnvState, greedy: bool = False) -> int:
+        """Action selection without building an autograd graph (evaluation)."""
+        with no_grad():
+            action, _ = self.act(env, state, greedy=greedy)
+        return action

@@ -1,0 +1,142 @@
+"""The placement-search MDP (paper §4.1) with GiPH's action masks (§4.2.3).
+
+States are feasible placements; an action (v_i, d_j) relocates task v_i
+onto device d_j; the reward is the objective improvement
+ρ(s_t) − ρ(s_{t+1}) (lower objective = better placement, so positive
+reward means the move helped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.objectives import Objective
+from .features import FeatureConfig, GpNetBuilder
+from .gpnet import GpNet
+from .placement import PlacementProblem, random_placement
+
+__all__ = ["EnvState", "PlacementEnv", "default_episode_length"]
+
+
+def default_episode_length(problem: PlacementProblem) -> int:
+    """2·|V| steps — empirically enough to converge (paper §5)."""
+    return 2 * problem.graph.num_tasks
+
+
+@dataclass(frozen=True)
+class EnvState:
+    """One MDP state: the placement plus its gpNet view and score."""
+
+    placement: tuple[int, ...]
+    gpnet: GpNet
+    objective_value: float
+    last_moved_task: int | None
+    step: int
+
+    @property
+    def num_actions(self) -> int:
+        return self.gpnet.num_nodes
+
+
+class PlacementEnv:
+    """Search MDP for one problem instance.
+
+    Parameters
+    ----------
+    problem: the (G, N) instance.
+    objective: performance criterion ρ (lower is better).
+    episode_length: steps per episode (default 2·|V|).
+    feature_config: gpNet feature options.
+    mask_no_ops: mask actions equal to the current placement (pivots).
+    mask_repeat_task: mask relocating the task moved in the previous step.
+    """
+
+    def __init__(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        episode_length: int | None = None,
+        feature_config: FeatureConfig | None = None,
+        mask_no_ops: bool = True,
+        mask_repeat_task: bool = True,
+    ) -> None:
+        self.problem = problem
+        self.objective = objective
+        self.episode_length = episode_length or default_episode_length(problem)
+        if self.episode_length < 1:
+            raise ValueError("episode_length must be >= 1")
+        self.builder = GpNetBuilder(problem, feature_config)
+        self.mask_no_ops = mask_no_ops
+        self.mask_repeat_task = mask_repeat_task
+        self._state: EnvState | None = None
+
+    # -- episode control -----------------------------------------------------------
+
+    def reset(
+        self,
+        initial_placement: Sequence[int] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> EnvState:
+        """Start an episode from ``initial_placement`` (or a random one)."""
+        if initial_placement is None:
+            if rng is None:
+                raise ValueError("reset needs either an initial placement or an rng")
+            initial_placement = random_placement(self.problem, rng)
+        placement = self.problem.validate_placement(initial_placement)
+        self._state = self._make_state(placement, last_moved=None, step=0)
+        return self._state
+
+    @property
+    def state(self) -> EnvState:
+        if self._state is None:
+            raise RuntimeError("call reset() before accessing the state")
+        return self._state
+
+    def _make_state(
+        self, placement: tuple[int, ...], last_moved: int | None, step: int
+    ) -> EnvState:
+        gpnet = self.builder.build(placement)
+        value = self.objective.evaluate(self.problem.cost_model, placement)
+        return EnvState(placement, gpnet, value, last_moved, step)
+
+    # -- masks ------------------------------------------------------------------------
+
+    def action_mask(self, state: EnvState | None = None) -> np.ndarray:
+        """Boolean mask of selectable gpNet nodes (True = allowed).
+
+        Masks no-op actions (current pivots) and all options of the task
+        moved in the previous step (§4.2.3).  If that leaves nothing —
+        possible only in degenerate instances — masks are relaxed in
+        order (repeat-task first, then no-op) so an action always exists.
+        """
+        state = state or self.state
+        mask = np.ones(state.gpnet.num_nodes, dtype=bool)
+        if self.mask_no_ops:
+            mask &= ~state.gpnet.is_pivot
+        if self.mask_repeat_task and state.last_moved_task is not None:
+            mask &= state.gpnet.task_of != state.last_moved_task
+        if not mask.any() and self.mask_no_ops:
+            mask = ~state.gpnet.is_pivot
+        if not mask.any():
+            mask = np.ones(state.gpnet.num_nodes, dtype=bool)
+        return mask
+
+    # -- transitions ------------------------------------------------------------------
+
+    def step(self, action_node: int) -> tuple[EnvState, float, bool]:
+        """Apply gpNet node ``action_node`` as a relocation; return
+        (next_state, reward, done)."""
+        state = self.state
+        if not 0 <= action_node < state.gpnet.num_nodes:
+            raise ValueError(f"action node {action_node} out of range")
+        task, device = state.gpnet.action_of(action_node)
+        placement = list(state.placement)
+        placement[task] = device
+        next_state = self._make_state(tuple(placement), last_moved=task, step=state.step + 1)
+        reward = state.objective_value - next_state.objective_value
+        done = next_state.step >= self.episode_length
+        self._state = next_state
+        return next_state, reward, done

@@ -1,0 +1,150 @@
+"""Feature maps f_n and f_e for gpNet nodes and edges (paper §B.7).
+
+Node features of option (v_i, d_k):
+    1. compute requirement C_i,
+    2. device compute speed SP_k,
+    3. expected compute time w_{i,k},
+    4. start-time potential: earliest possible start of v_i on d_k (given
+       parents' current placements) minus v_i's actual start time in the
+       current schedule.
+
+Edge features of ((v_i, d_k), (v_j, d_l)):
+    1. data amount B_ij,
+    2. inverse bandwidth 1/BW_kl (the paper lists bandwidth itself; the
+       inverse is used here because local links have BW = ∞, which is not
+       network-input-safe — 1/BW is the monotone-equivalent cost form),
+    3. communication delay DL_kl,
+    4. expected communication time c_{ij,kl}.
+
+Features are normalized per instance (each column divided by its mean
+magnitude) so policies transfer across problem scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.executor import SimResult, simulate
+from .gpnet import GpNet, build_gpnet
+from .placement import PlacementProblem
+
+__all__ = ["FeatureConfig", "GpNetBuilder", "NODE_FEATURE_DIM", "EDGE_FEATURE_DIM"]
+
+NODE_FEATURE_DIM = 4
+EDGE_FEATURE_DIM = 4
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Feature-map options.
+
+    ``use_start_time_potential=False`` reproduces the Fig. 15 ablation
+    (removing the EST potential degrades every variant, GiPH least).
+    """
+
+    use_start_time_potential: bool = True
+    normalize: bool = True
+
+
+class GpNetBuilder:
+    """Builds gpNets with fully populated features for one problem.
+
+    The builder runs one noise-free simulation of the current placement
+    per build to obtain the schedule timeline that the start-time
+    potential is measured against.
+    """
+
+    def __init__(self, problem: PlacementProblem, config: FeatureConfig | None = None) -> None:
+        self.problem = problem
+        self.config = config or FeatureConfig()
+        with np.errstate(divide="ignore"):
+            self._inv_bw = np.where(
+                np.isinf(problem.network.bandwidth), 0.0, 1.0 / problem.network.bandwidth
+            )
+
+    # -- feature maps -------------------------------------------------------------
+
+    def _node_features(self, placement: Sequence[int], timeline: SimResult) -> np.ndarray:
+        problem, graph = self.problem, self.problem.graph
+        cm = problem.cost_model
+        speeds = problem.network.speeds
+        rows: list[list[float]] = []
+        for i, feas in enumerate(problem.feasible_sets):
+            for d in feas:
+                row = [graph.compute[i], speeds[d], cm.compute_time(i, d)]
+                if self.config.use_start_time_potential:
+                    est = 0.0
+                    for p in graph.parents[i]:
+                        est = max(
+                            est,
+                            timeline.finish[p] + cm.comm_time((p, i), placement[p], d),
+                        )
+                    row.append(est - timeline.start[i])
+                rows.append(row)
+        feats = np.array(rows, dtype=np.float64)
+        if not self.config.use_start_time_potential:
+            # Keep the dimension stable (zeros) so networks are comparable
+            # with and without the feature, as in the Fig. 15 ablation.
+            feats = np.hstack([feats, np.zeros((len(feats), 1))])
+        return feats
+
+    def _edge_feature_fn(self, placement: Sequence[int]):
+        cm = self.problem.cost_model
+        graph = self.problem.graph
+        delay = self.problem.network.delay
+        inv_bw = self._inv_bw
+
+        def f_e(edge: tuple[int, int], src_dev: int, dst_dev: int) -> np.ndarray:
+            data = graph.edges[edge]
+            return np.array(
+                [
+                    data,
+                    inv_bw[src_dev, dst_dev],
+                    delay[src_dev, dst_dev],
+                    cm.comm_time(edge, src_dev, dst_dev),
+                ]
+            )
+
+        return f_e
+
+    @staticmethod
+    def _normalize(features: np.ndarray) -> np.ndarray:
+        if features.size == 0:
+            return features
+        scale = np.abs(features).mean(axis=0)
+        scale = np.where(scale > 1e-12, scale, 1.0)
+        return features / scale
+
+    # -- public API ---------------------------------------------------------------
+
+    def build(
+        self, placement: Sequence[int], timeline: SimResult | None = None
+    ) -> GpNet:
+        """Build the gpNet of ``placement`` (timeline computed if absent)."""
+        placement = self.problem.validate_placement(placement)
+        if timeline is None:
+            timeline = self.timeline(placement)
+        node_features = self._node_features(placement, timeline)
+        net = build_gpnet(self.problem, placement, node_features, self._edge_feature_fn(placement))
+        if self.config.normalize:
+            net = GpNet(
+                task_of=net.task_of,
+                device_of=net.device_of,
+                is_pivot=net.is_pivot,
+                options=net.options,
+                edge_src=net.edge_src,
+                edge_dst=net.edge_dst,
+                node_features=self._normalize(net.node_features),
+                edge_features=self._normalize(net.edge_features),
+                placement=net.placement,
+            )
+        return net
+
+    def timeline(self, placement: Sequence[int]) -> SimResult:
+        """Noise-free schedule of ``placement`` (expectation timeline)."""
+        return simulate(
+            self.problem.graph, self.problem.network, placement, self.problem.cost_model
+        )

@@ -1,0 +1,369 @@
+"""Graph neural networks over gpNets (paper §4.2.2, Appendix B.6).
+
+The main GiPH network propagates messages along the partial order of the
+gpNet in both directions with separate parameters (Eq. 1):
+
+    e_u = h2( agg_{v ∈ ξ(u)} h1([e_v ∥ x^e_vu]) ) + x^n_u
+
+where in the forward direction ξ(u) are u's parents (processed in
+topological order, so each parent is final before its children read it)
+and in the backward direction its children.  Per-direction summaries are
+concatenated into the node embedding.
+
+Alternatives evaluated in Appendix B.6 are provided:
+
+* :class:`KStepMessagePassing` (GiPH-k, Eq. 4) — k synchronous two-way
+  steps with shared parameters;
+* :class:`TwoWayNoEdge` (GiPH-NE) — no edge features; mean out-edge
+  features are appended to node features instead;
+* :class:`GraphSageNoEdge` (GraphSAGE-NE) — 3-layer uni-directional
+  GraphSAGE over the same augmented node features;
+* :class:`RawFeatureEmbedding` (GiPH-NE-Pol) — no GNN at all.
+
+Architecture dimensions follow Tables 4-5: raw node/edge features are
+4-dimensional, per-direction embeddings 5-dimensional (10 concatenated),
+pre-embedding is a two-layer FNN with hidden size equal to the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Linear, Module, Tensor, concat, stack
+from ..nn import functional as F
+from .features import EDGE_FEATURE_DIM, NODE_FEATURE_DIM
+from .gpnet import GpNet
+
+__all__ = [
+    "GpNetEmbedding",
+    "TwoWayMessagePassing",
+    "KStepMessagePassing",
+    "TwoWayNoEdge",
+    "GraphSageNoEdge",
+    "RawFeatureEmbedding",
+    "augment_with_out_edge_means",
+    "make_embedding",
+]
+
+
+class GpNetEmbedding(Module):
+    """Interface: embed a gpNet into per-node vectors (num_nodes, out_dim)."""
+
+    out_dim: int
+
+    def forward(self, gpnet: GpNet) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _aggregate(values, segment_ids, num_segments, how: str):
+    if how == "mean":
+        return F.segment_mean(values, segment_ids, num_segments)
+    if how == "sum":
+        return F.segment_sum(values, segment_ids, num_segments)
+    raise ValueError(f"unknown aggregation {how!r}")
+
+
+def _group_edges_by_task(edge_tasks: np.ndarray, num_tasks: int) -> list[np.ndarray]:
+    """edge indices grouped by the task id in ``edge_tasks``."""
+    order = np.argsort(edge_tasks, kind="stable")
+    sorted_tasks = edge_tasks[order]
+    bounds = np.searchsorted(sorted_tasks, np.arange(num_tasks + 1))
+    return [order[bounds[t] : bounds[t + 1]] for t in range(num_tasks)]
+
+
+class _DirectionalPass(Module):
+    """One direction of Eq. 1: recurrent wavefront message passing."""
+
+    def __init__(self, embed_dim: int, edge_dim: int, rng: np.random.Generator, aggregation: str) -> None:
+        msg_dim = embed_dim + edge_dim
+        self.h1 = Linear(msg_dim, msg_dim, rng)
+        self.h2 = Linear(msg_dim, embed_dim, rng)
+        self.embed_dim = embed_dim
+        self.aggregation = aggregation
+
+    def forward(self, gpnet: GpNet, x: Tensor, task_order, reverse: bool) -> Tensor:
+        """``x``: pre-embedded node features (N, embed_dim)."""
+        n = gpnet.num_nodes
+        if reverse:
+            # Messages flow child -> parent: group edges by src task,
+            # aggregate at the src node.
+            edge_from, edge_to = gpnet.edge_dst, gpnet.edge_src
+        else:
+            edge_from, edge_to = gpnet.edge_src, gpnet.edge_dst
+        groups = _group_edges_by_task(gpnet.task_of[edge_to], len(gpnet.options))
+
+        node_emb: list[Tensor | None] = [None] * n
+        for task in task_order:
+            opts = gpnet.options[task]
+            local = {int(u): k for k, u in enumerate(opts)}
+            idx = groups[task]
+            x_group = x[opts]
+            if len(idx) == 0:
+                agg = Tensor(np.zeros((len(opts), self.h1.out_features)))
+            else:
+                senders = edge_from[idx]
+                sender_emb = stack([node_emb[int(s)] for s in senders], axis=0)
+                msg_in = concat([sender_emb, Tensor(gpnet.edge_features[idx])], axis=1)
+                msg = self.h1(msg_in).relu()
+                local_ids = np.array([local[int(u)] for u in edge_to[idx]])
+                agg = _aggregate(msg, local_ids, len(opts), self.aggregation)
+            group_out = self.h2(agg).relu() + x_group
+            for k, u in enumerate(opts):
+                node_emb[int(u)] = group_out[k]
+        return stack([node_emb[u] for u in range(n)], axis=0)
+
+
+class TwoWayMessagePassing(GpNetEmbedding):
+    """The GiPH GNN: Eq. 1 in both directions, summaries concatenated.
+
+    The recurrent sweep runs as many message-passing steps as the graph
+    is deep ("message passing: graph depth" in Table 5).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        node_dim: int = NODE_FEATURE_DIM,
+        edge_dim: int = EDGE_FEATURE_DIM,
+        embed_dim: int = 5,
+        aggregation: str = "mean",
+    ) -> None:
+        self.pre = MLP([node_dim, node_dim, embed_dim], rng)
+        self.forward_pass = _DirectionalPass(embed_dim, edge_dim, rng, aggregation)
+        self.backward_pass = _DirectionalPass(embed_dim, edge_dim, rng, aggregation)
+        self.out_dim = 2 * embed_dim
+
+    def forward(self, gpnet: GpNet) -> Tensor:
+        x = self.pre(Tensor(gpnet.node_features))
+        graph_topo = self._task_topo_order(gpnet)
+        e_fwd = self.forward_pass(gpnet, x, graph_topo, reverse=False)
+        e_bwd = self.backward_pass(gpnet, x, list(reversed(graph_topo)), reverse=True)
+        return concat([e_fwd, e_bwd], axis=1)
+
+    @staticmethod
+    def _task_topo_order(gpnet: GpNet) -> list[int]:
+        """Topological order of tasks induced by the gpNet's edges."""
+        num_tasks = len(gpnet.options)
+        src_tasks = gpnet.task_of[gpnet.edge_src]
+        dst_tasks = gpnet.task_of[gpnet.edge_dst]
+        children: dict[int, set[int]] = {t: set() for t in range(num_tasks)}
+        indeg = np.zeros(num_tasks, dtype=int)
+        for s, d in {(int(a), int(b)) for a, b in zip(src_tasks, dst_tasks)}:
+            if d not in children[s]:
+                children[s].add(d)
+                indeg[d] += 1
+        frontier = [t for t in range(num_tasks) if indeg[t] == 0]
+        order: list[int] = []
+        while frontier:
+            t = frontier.pop()
+            order.append(t)
+            for c in children[t]:
+                indeg[c] -= 1
+                if indeg[c] == 0:
+                    frontier.append(c)
+        if len(order) != num_tasks:
+            raise RuntimeError("gpNet induced a cyclic task order")
+        return order
+
+
+class _SharedStepPass(Module):
+    """One direction of Eq. 4: k synchronous steps, shared parameters."""
+
+    def __init__(self, embed_dim: int, edge_dim: int, rng: np.random.Generator, aggregation: str) -> None:
+        msg_dim = embed_dim + edge_dim
+        self.h1 = Linear(msg_dim, msg_dim, rng)
+        self.h2 = Linear(msg_dim, embed_dim, rng)
+        self.aggregation = aggregation
+
+    def forward(self, gpnet: GpNet, e0: Tensor, steps: int, reverse: bool) -> Tensor:
+        n = gpnet.num_nodes
+        senders = gpnet.edge_dst if reverse else gpnet.edge_src
+        receivers = gpnet.edge_src if reverse else gpnet.edge_dst
+        efeat = Tensor(gpnet.edge_features)
+        e = e0
+        for _ in range(steps):
+            if gpnet.num_edges == 0:
+                msg_agg = Tensor(np.zeros((n, self.h1.out_features)))
+            else:
+                msg = self.h1(concat([e[senders], efeat], axis=1)).relu()
+                msg_agg = _aggregate(msg, receivers, n, self.aggregation)
+            e = self.h2(msg_agg).relu() + e0
+        return e
+
+
+class KStepMessagePassing(GpNetEmbedding):
+    """GiPH-k (Eq. 4): bounded k-step two-way message passing.
+
+    Caps the sequential depth of the GNN — the paper's Table 7 / Fig. 17
+    remedy for large graphs (GiPH-3, GiPH-5).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        k: int,
+        node_dim: int = NODE_FEATURE_DIM,
+        edge_dim: int = EDGE_FEATURE_DIM,
+        embed_dim: int = 5,
+        aggregation: str = "mean",
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.pre = MLP([node_dim, node_dim, embed_dim], rng)  # h3 in Eq. 4
+        self.forward_pass = _SharedStepPass(embed_dim, edge_dim, rng, aggregation)
+        self.backward_pass = _SharedStepPass(embed_dim, edge_dim, rng, aggregation)
+        self.out_dim = 2 * embed_dim
+
+    def forward(self, gpnet: GpNet) -> Tensor:
+        e0 = self.pre(Tensor(gpnet.node_features))
+        e_fwd = self.forward_pass(gpnet, e0, self.k, reverse=False)
+        e_bwd = self.backward_pass(gpnet, e0, self.k, reverse=True)
+        return concat([e_fwd, e_bwd], axis=1)
+
+
+def augment_with_out_edge_means(gpnet: GpNet) -> np.ndarray:
+    """Node features with mean out-edge features appended (GiPH-NE input).
+
+    "To compensate for the loss of edge information, the mean feature
+    value of out edges of a node is appended to its node feature" (B.6).
+    """
+    n = gpnet.num_nodes
+    edge_dim = gpnet.edge_features.shape[1] if gpnet.num_edges else EDGE_FEATURE_DIM
+    sums = np.zeros((n, edge_dim))
+    counts = np.zeros(n)
+    if gpnet.num_edges:
+        np.add.at(sums, gpnet.edge_src, gpnet.edge_features)
+        np.add.at(counts, gpnet.edge_src, 1.0)
+    means = sums / np.maximum(counts, 1.0)[:, None]
+    return np.hstack([gpnet.node_features, means])
+
+
+class _NoEdgeDirectionalPass(Module):
+    """Wavefront pass without edge features (GiPH-NE)."""
+
+    def __init__(self, embed_dim: int, rng: np.random.Generator, aggregation: str) -> None:
+        self.h1 = Linear(embed_dim, embed_dim, rng)
+        self.h2 = Linear(embed_dim, embed_dim, rng)
+        self.aggregation = aggregation
+
+    def forward(self, gpnet: GpNet, x: Tensor, task_order, reverse: bool) -> Tensor:
+        n = gpnet.num_nodes
+        if reverse:
+            edge_from, edge_to = gpnet.edge_dst, gpnet.edge_src
+        else:
+            edge_from, edge_to = gpnet.edge_src, gpnet.edge_dst
+        groups = _group_edges_by_task(gpnet.task_of[edge_to], len(gpnet.options))
+        node_emb: list[Tensor | None] = [None] * n
+        for task in task_order:
+            opts = gpnet.options[task]
+            local = {int(u): k for k, u in enumerate(opts)}
+            idx = groups[task]
+            if len(idx) == 0:
+                agg = Tensor(np.zeros((len(opts), self.h1.out_features)))
+            else:
+                sender_emb = stack([node_emb[int(s)] for s in edge_from[idx]], axis=0)
+                msg = self.h1(sender_emb).relu()
+                local_ids = np.array([local[int(u)] for u in edge_to[idx]])
+                agg = _aggregate(msg, local_ids, len(opts), self.aggregation)
+            group_out = self.h2(agg).relu() + x[opts]
+            for k, u in enumerate(opts):
+                node_emb[int(u)] = group_out[k]
+        return stack([node_emb[u] for u in range(n)], axis=0)
+
+
+class TwoWayNoEdge(GpNetEmbedding):
+    """GiPH-NE: two-way message passing on augmented node features only.
+
+    Node features are the 8-dim augmentation (raw + mean out-edge); a
+    linear projection (the "no node transform layer" of Table 5) brings
+    them to the embedding dimension.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        node_dim: int = NODE_FEATURE_DIM + EDGE_FEATURE_DIM,
+        embed_dim: int = 5,
+        aggregation: str = "mean",
+    ) -> None:
+        self.proj = Linear(node_dim, embed_dim, rng)
+        self.forward_pass = _NoEdgeDirectionalPass(embed_dim, rng, aggregation)
+        self.backward_pass = _NoEdgeDirectionalPass(embed_dim, rng, aggregation)
+        self.out_dim = 2 * embed_dim
+
+    def forward(self, gpnet: GpNet) -> Tensor:
+        x = self.proj(Tensor(augment_with_out_edge_means(gpnet)))
+        topo = TwoWayMessagePassing._task_topo_order(gpnet)
+        e_fwd = self.forward_pass(gpnet, x, topo, reverse=False)
+        e_bwd = self.backward_pass(gpnet, x, list(reversed(topo)), reverse=True)
+        return concat([e_fwd, e_bwd], axis=1)
+
+
+class GraphSageNoEdge(GpNetEmbedding):
+    """GraphSAGE-NE: 3 uni-directional GraphSAGE layers (Hamilton 2017).
+
+    h^{l+1}_u = ReLU(W_l [h^l_u ∥ mean_{v∈parents(u)} h^l_v]); forward
+    direction only — the divergence observed in Fig. 14 traces back to
+    this missing backward view.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        node_dim: int = NODE_FEATURE_DIM + EDGE_FEATURE_DIM,
+        hidden_dim: int = 16,
+        out_dim: int = 10,
+        layers: int = 3,
+        aggregation: str = "mean",
+    ) -> None:
+        if layers < 1:
+            raise ValueError("layers must be >= 1")
+        self.pre = Linear(node_dim, hidden_dim, rng)
+        self.sage_layers = [Linear(2 * hidden_dim, hidden_dim, rng) for _ in range(layers)]
+        self.head = Linear(hidden_dim, out_dim, rng)
+        self.aggregation = aggregation
+        self.out_dim = out_dim
+
+    def forward(self, gpnet: GpNet) -> Tensor:
+        h = self.pre(Tensor(augment_with_out_edge_means(gpnet))).relu()
+        n = gpnet.num_nodes
+        for layer in self.sage_layers:
+            if gpnet.num_edges == 0:
+                neigh = Tensor(np.zeros((n, h.shape[1])))
+            else:
+                neigh = _aggregate(h[gpnet.edge_src], gpnet.edge_dst, n, self.aggregation)
+            h = layer(concat([h, neigh], axis=1)).relu()
+        return self.head(h)
+
+
+class RawFeatureEmbedding(GpNetEmbedding):
+    """GiPH-NE-Pol: no GNN — augmented raw features straight to the policy."""
+
+    def __init__(self, node_dim: int = NODE_FEATURE_DIM + EDGE_FEATURE_DIM) -> None:
+        self.out_dim = node_dim
+
+    def forward(self, gpnet: GpNet) -> Tensor:
+        return Tensor(augment_with_out_edge_means(gpnet))
+
+
+def make_embedding(kind: str, rng: np.random.Generator, **kwargs) -> GpNetEmbedding:
+    """Factory over the paper's GNN variants.
+
+    ``kind``: "giph", "giph-3", "giph-5", "giph-k" (pass k=), "giph-ne",
+    "graphsage-ne", or "giph-ne-pol".
+    """
+    kind = kind.lower()
+    if kind == "giph":
+        return TwoWayMessagePassing(rng, **kwargs)
+    if kind.startswith("giph-") and kind[5:].isdigit():
+        return KStepMessagePassing(rng, k=int(kind[5:]), **kwargs)
+    if kind == "giph-k":
+        return KStepMessagePassing(rng, **kwargs)
+    if kind == "giph-ne":
+        return TwoWayNoEdge(rng, **kwargs)
+    if kind == "graphsage-ne":
+        return GraphSageNoEdge(rng, **kwargs)
+    if kind == "giph-ne-pol":
+        return RawFeatureEmbedding(**kwargs)
+    raise ValueError(f"unknown embedding kind {kind!r}")

@@ -1,0 +1,85 @@
+"""Placement problems and placements (paper §3).
+
+A placement maps every task of an application graph onto a feasible
+device of the target network: ``M : V -> D`` with ``M(v_i) ∈ D_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..devices.network import DeviceNetwork
+from ..graphs.task_graph import TaskGraph
+from ..sim.latency import CostModel
+
+__all__ = ["PlacementProblem", "random_placement", "greedy_fastest_device_placement"]
+
+
+@dataclass(frozen=True)
+class PlacementProblem:
+    """One problem instance (G, N): a task graph on a device network.
+
+    Bundles the cost model (expected compute/communication times) and the
+    per-task feasible device sets so that policies, baselines and the
+    simulator all agree on the instance's semantics.
+    """
+
+    graph: TaskGraph
+    network: DeviceNetwork
+    cost_model: CostModel = field(default=None, compare=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cost_model is None:
+            object.__setattr__(self, "cost_model", CostModel(self.graph, self.network))
+        elif self.cost_model.graph is not self.graph or self.cost_model.network is not self.network:
+            raise ValueError("cost_model must be built for this graph/network pair")
+
+    @property
+    def feasible_sets(self) -> list[tuple[int, ...]]:
+        """D_i for every task i (dense device indices)."""
+        return self.cost_model.feasible_sets
+
+    @property
+    def num_actions(self) -> int:
+        """|A_{G,N}| = Σ_i |D_i| (paper §4.1)."""
+        return sum(len(s) for s in self.feasible_sets)
+
+    def state_space_size(self) -> float:
+        """|S_{G,N}| = Π_i |D_i| (can overflow int; returned as float)."""
+        return float(np.prod([float(len(s)) for s in self.feasible_sets]))
+
+    def validate_placement(self, placement: Sequence[int]) -> tuple[int, ...]:
+        """Check feasibility and return the placement as a tuple."""
+        placement = tuple(int(d) for d in placement)
+        if len(placement) != self.graph.num_tasks:
+            raise ValueError(
+                f"placement length {len(placement)} != {self.graph.num_tasks} tasks"
+            )
+        for i, d in enumerate(placement):
+            if d not in self.feasible_sets[i]:
+                raise ValueError(f"task {i} placed on infeasible device index {d}")
+        return placement
+
+
+def random_placement(
+    problem: PlacementProblem, rng: np.random.Generator
+) -> tuple[int, ...]:
+    """Uniformly sample a feasible placement — the paper's random baseline
+    and the initial state of every search episode."""
+    return tuple(int(rng.choice(list(feas))) for feas in problem.feasible_sets)
+
+
+def greedy_fastest_device_placement(problem: PlacementProblem) -> tuple[int, ...]:
+    """Place every task on its fastest feasible device (ignores comm).
+
+    A deliberately myopic initializer: good per-task compute, poor
+    communication locality — useful as a "placement that requires
+    improvement" (paper §4.2).
+    """
+    w = problem.cost_model.W
+    return tuple(
+        int(min(feas, key=lambda d: w[i, d])) for i, feas in enumerate(problem.feasible_sets)
+    )

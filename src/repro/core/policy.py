@@ -1,0 +1,55 @@
+"""Policy network: per-action score function + masked softmax (paper §4.2.3).
+
+The policy scores each gpNet node (= action) independently with a shared
+MLP g(.), so the network size is independent of the gpNet size — the key
+to scaling across problem instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import MLP, Module, Tensor
+from ..nn import functional as F
+
+__all__ = ["ScorePolicy"]
+
+
+class ScorePolicy(Module):
+    """q_a = g(e_a); P(a|s) = softmax over feasible actions.
+
+    Parameters
+    ----------
+    embed_dim: dimension of per-node embeddings from the GNN.
+    hidden_dim: score MLP hidden width (16 in Table 5).
+    """
+
+    def __init__(self, embed_dim: int, rng: np.random.Generator, hidden_dim: int = 16) -> None:
+        self.score = MLP([embed_dim, hidden_dim, 1], rng)
+
+    def log_probs(self, embeddings: Tensor, mask: np.ndarray) -> Tensor:
+        """Log action probabilities over gpNet nodes (masked entries ≈ -inf)."""
+        scores = self.score(embeddings).reshape(-1)
+        return F.masked_log_softmax(scores, mask)
+
+    def sample(
+        self,
+        embeddings: Tensor,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+        greedy: bool = False,
+    ) -> tuple[int, Tensor]:
+        """Pick an action; return (node index, its log-probability node).
+
+        The returned log-probability participates in the autograd graph,
+        so REINFORCE losses can backpropagate through it.
+        """
+        log_probs = self.log_probs(embeddings, mask)
+        if greedy:
+            action = int(np.argmax(np.where(mask, log_probs.data, -np.inf)))
+        else:
+            probs = np.exp(log_probs.data)
+            probs = np.where(mask, probs, 0.0)
+            probs = probs / probs.sum()
+            action = int(rng.choice(len(probs), p=probs))
+        return action, log_probs[action]

@@ -1,0 +1,164 @@
+"""REINFORCE training of the GiPH policy (paper §4.1, Appendix B.7).
+
+Per episode, a problem (G, N) is sampled from the training set and the
+agent searches from a random placement.  The policy gradient uses
+discounted returns with the paper's variance-reduction baseline: "the
+average reward before step t in an episode".
+
+    θ ← θ + α Σ_t γ^t ∇ log π(a_t|s_t) (Σ_{t'≥t} γ^{t'-t} r_{t'} − b_t)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn import Adam, Tensor
+from ..sim.objectives import Objective
+from .agent import GiPHAgent
+from .env import PlacementEnv
+from .features import FeatureConfig
+from .placement import PlacementProblem
+
+__all__ = ["ReinforceConfig", "EpisodeStats", "ReinforceTrainer", "discounted_returns"]
+
+
+def discounted_returns(rewards: Sequence[float], gamma: float) -> np.ndarray:
+    """G_t = Σ_{t'≥t} γ^{t'-t} r_{t'} (suffix scan)."""
+    returns = np.zeros(len(rewards))
+    acc = 0.0
+    for t in range(len(rewards) - 1, -1, -1):
+        acc = rewards[t] + gamma * acc
+        returns[t] = acc
+    return returns
+
+
+def average_reward_baseline(rewards: Sequence[float]) -> np.ndarray:
+    """b_t = mean of rewards before step t (b_0 = 0) — §B.7's baseline."""
+    baseline = np.zeros(len(rewards))
+    if len(rewards) > 1:
+        cums = np.cumsum(rewards)
+        t = np.arange(1, len(rewards))
+        baseline[1:] = cums[:-1] / t
+    return baseline
+
+
+@dataclass(frozen=True)
+class ReinforceConfig:
+    """Training hyperparameters (paper §5 experiment details).
+
+    learning_rate 0.01 with Adam, γ = 0.97, 200 episodes; grad clipping
+    is an implementation stabilizer for the NumPy substrate.
+    """
+
+    learning_rate: float = 0.01
+    gamma: float = 0.97
+    episodes: int = 200
+    episode_length: int | None = None  # None -> 2|V| per problem
+    grad_clip: float = 10.0
+    feature_config: FeatureConfig = field(default_factory=FeatureConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if self.episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        if self.grad_clip <= 0:
+            raise ValueError("grad_clip must be positive")
+
+
+@dataclass(frozen=True)
+class EpisodeStats:
+    """Per-episode training record."""
+
+    episode: int
+    initial_value: float
+    final_value: float
+    best_value: float
+    total_reward: float
+    grad_norm: float
+
+
+class ReinforceTrainer:
+    """Trains an agent across a distribution of placement problems."""
+
+    def __init__(
+        self,
+        agent: GiPHAgent,
+        objective: Objective,
+        config: ReinforceConfig | None = None,
+    ) -> None:
+        self.agent = agent
+        self.objective = objective
+        self.config = config or ReinforceConfig()
+        self.optimizer = Adam(list(agent.parameters()), lr=self.config.learning_rate)
+        self.history: list[EpisodeStats] = []
+
+    def run_episode(self, problem: PlacementProblem, rng: np.random.Generator) -> EpisodeStats:
+        """Collect one on-policy episode and apply a gradient update."""
+        cfg = self.config
+        env = PlacementEnv(
+            problem,
+            self.objective,
+            episode_length=cfg.episode_length,
+            feature_config=cfg.feature_config,
+        )
+        state = env.reset(rng=rng)
+        initial_value = state.objective_value
+        best_value = initial_value
+
+        log_probs: list[Tensor] = []
+        rewards: list[float] = []
+        done = False
+        while not done:
+            action, log_prob = self.agent.act(env, state)
+            state, reward, done = env.step(action)
+            log_probs.append(log_prob)
+            rewards.append(reward)
+            best_value = min(best_value, state.objective_value)
+
+        returns = discounted_returns(rewards, cfg.gamma)
+        baseline = average_reward_baseline(rewards)
+        discount = cfg.gamma ** np.arange(len(rewards))
+        advantages = discount * (returns - baseline)
+
+        # loss = -Σ_t γ^t log π(a_t|s_t) · advantage_t
+        loss = sum(
+            lp * float(-adv) for lp, adv in zip(log_probs, advantages)
+        )
+        self.optimizer.zero_grad()
+        loss.backward()
+        grad_norm = self.optimizer.clip_grad_norm(cfg.grad_clip)
+        self.optimizer.step()
+
+        stats = EpisodeStats(
+            episode=len(self.history),
+            initial_value=initial_value,
+            final_value=state.objective_value,
+            best_value=best_value,
+            total_reward=float(sum(rewards)),
+            grad_norm=grad_norm,
+        )
+        self.history.append(stats)
+        return stats
+
+    def train(
+        self,
+        problems: Sequence[PlacementProblem],
+        rng: np.random.Generator,
+        episodes: int | None = None,
+        callback: Callable[[EpisodeStats], None] | None = None,
+    ) -> list[EpisodeStats]:
+        """Run ``episodes`` episodes, sampling a problem per episode."""
+        if not problems:
+            raise ValueError("training needs at least one problem")
+        stats = []
+        for _ in range(episodes or self.config.episodes):
+            problem = problems[int(rng.integers(0, len(problems)))]
+            ep = self.run_episode(problem, rng)
+            stats.append(ep)
+            if callback is not None:
+                callback(ep)
+        return stats

@@ -1,0 +1,94 @@
+"""Placement search: running an agent's episode on a problem (paper §4).
+
+At evaluation time each search-based policy starts from a given initial
+placement, takes ``episode_length`` relocation steps, and reports the
+best placement seen so far after every step — the series plotted in
+Figs. 4, 7(a) and 9(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.objectives import Objective
+from .agent import GiPHAgent
+from .env import PlacementEnv
+from .placement import PlacementProblem
+
+__all__ = ["SearchTrace", "run_search"]
+
+
+@dataclass(frozen=True)
+class SearchTrace:
+    """Outcome of one search episode.
+
+    ``best_over_time[t]`` is the best objective value found within the
+    first ``t`` steps (index 0 = initial placement), so the series is
+    non-increasing.  ``relocation_counts[i]`` counts how often task ``i``
+    was relocated (Fig. 7b).
+    """
+
+    best_placement: tuple[int, ...]
+    best_value: float
+    best_over_time: tuple[float, ...]
+    values: tuple[float, ...]
+    relocation_counts: tuple[int, ...]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.values) - 1
+
+
+def run_search(
+    agent: GiPHAgent,
+    problem: PlacementProblem,
+    objective: Objective,
+    initial_placement: Sequence[int],
+    episode_length: int | None = None,
+    greedy: bool = False,
+    feature_config=None,
+    stopping=None,
+) -> SearchTrace:
+    """Run one evaluation episode; no learning happens here.
+
+    ``stopping`` optionally supplies a
+    :class:`repro.core.stopping.StoppingCriterion` evaluated after every
+    step (on top of the fixed ``episode_length`` budget) — the paper's §6
+    discussion of search stopping criteria.
+    """
+    env = PlacementEnv(
+        problem, objective, episode_length=episode_length, feature_config=feature_config
+    )
+    state = env.reset(initial_placement=initial_placement)
+    values = [state.objective_value]
+    best_value = state.objective_value
+    best_placement = state.placement
+    best_over_time = [best_value]
+    relocations = np.zeros(problem.graph.num_tasks, dtype=int)
+
+    done = False
+    while not done:
+        action = agent.act_inference(env, state, greedy=greedy)
+        task, _ = state.gpnet.action_of(action)
+        prev_placement = state.placement
+        state, _, done = env.step(action)
+        if state.placement != prev_placement:
+            relocations[task] += 1
+        values.append(state.objective_value)
+        if state.objective_value < best_value:
+            best_value = state.objective_value
+            best_placement = state.placement
+        best_over_time.append(best_value)
+        if stopping is not None and stopping.should_stop(values, best_over_time):
+            break
+
+    return SearchTrace(
+        best_placement=best_placement,
+        best_value=best_value,
+        best_over_time=tuple(best_over_time),
+        values=tuple(values),
+        relocation_counts=tuple(int(c) for c in relocations),
+    )

@@ -1,0 +1,119 @@
+"""Stopping criteria for the placement search (paper §6, future work).
+
+The paper notes that "GiPH's results may vary depending on the stopping
+criterion for the placement search, and we will explore different
+criteria".  This module implements that exploration: pluggable rules
+deciding when an episode should stop early, usable with
+:func:`repro.core.search.run_search` via its ``stopping`` parameter.
+
+All criteria observe the running best-so-far series and the per-step
+objective values; they never see policy internals, so any SearchPolicy
+can use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+__all__ = [
+    "StoppingCriterion",
+    "FixedBudget",
+    "Patience",
+    "RelativeImprovement",
+    "TargetValue",
+    "CombinedCriterion",
+]
+
+
+class StoppingCriterion(Protocol):
+    """Decides whether to stop after a step, given the value history."""
+
+    def should_stop(self, values: Sequence[float], best_over_time: Sequence[float]) -> bool:
+        """``values[t]`` is ρ after step t (index 0 = initial placement)."""
+        ...
+
+
+@dataclass(frozen=True)
+class FixedBudget:
+    """Stop after exactly ``steps`` relocations — the paper's default
+    (2·|V| steps, §5)."""
+
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ValueError("steps must be >= 1")
+
+    def should_stop(self, values, best_over_time) -> bool:
+        return len(values) - 1 >= self.steps
+
+
+@dataclass(frozen=True)
+class Patience:
+    """Stop when the best value hasn't improved for ``patience`` steps."""
+
+    patience: int
+    min_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if self.min_steps < 0:
+            raise ValueError("min_steps must be non-negative")
+
+    def should_stop(self, values, best_over_time) -> bool:
+        steps = len(values) - 1
+        if steps < max(self.min_steps, self.patience):
+            return False
+        recent = best_over_time[-(self.patience + 1) :]
+        return recent[0] <= recent[-1] + 1e-12
+
+
+@dataclass(frozen=True)
+class RelativeImprovement:
+    """Stop when the best value's relative improvement over a window
+    falls below ``threshold`` (e.g. <1% over 5 steps)."""
+
+    threshold: float
+    window: int = 5
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    def should_stop(self, values, best_over_time) -> bool:
+        if len(best_over_time) <= self.window:
+            return False
+        old = best_over_time[-(self.window + 1)]
+        new = best_over_time[-1]
+        if old <= 0:
+            return True
+        return (old - new) / old < self.threshold
+
+
+@dataclass(frozen=True)
+class TargetValue:
+    """Stop as soon as the best value reaches ``target`` (e.g. an SLR
+    bound computed from CP_MIN)."""
+
+    target: float
+
+    def should_stop(self, values, best_over_time) -> bool:
+        return best_over_time[-1] <= self.target
+
+
+@dataclass(frozen=True)
+class CombinedCriterion:
+    """Stop when ANY of the member criteria fires (logical OR)."""
+
+    criteria: tuple[StoppingCriterion, ...]
+
+    def __post_init__(self) -> None:
+        if not self.criteria:
+            raise ValueError("need at least one criterion")
+
+    def should_stop(self, values, best_over_time) -> bool:
+        return any(c.should_stop(values, best_over_time) for c in self.criteria)

@@ -1,0 +1,106 @@
+"""Dynamic device clusters for the adaptivity experiment (paper Fig. 6).
+
+"The network initially has 20 devices, and as the network evolves, some
+of the devices are randomly removed and later replaced with new devices
+of lower capacities (i.e., higher cost).  The total number of devices is
+between 16 and 20."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .network import Device, DeviceNetwork
+
+__all__ = ["ChurnConfig", "ChurnEvent", "network_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Parameters of the churn process.
+
+    Attributes
+    ----------
+    min_devices / max_devices: bounds on the cluster size (16-20 in §5).
+    capacity_decay: multiplicative speed/bandwidth factor applied to each
+        replacement device (< 1 models battery-conserving devices).
+    num_changes: length of the generated change sequence.
+    """
+
+    min_devices: int = 16
+    max_devices: int = 20
+    capacity_decay: float = 0.7
+    num_changes: int = 8
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_devices <= self.max_devices:
+            raise ValueError("need 1 <= min_devices <= max_devices")
+        if not 0 < self.capacity_decay <= 1:
+            raise ValueError("capacity_decay must be in (0, 1]")
+        if self.num_changes < 0:
+            raise ValueError("num_changes must be non-negative")
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One network change: the new network plus what happened."""
+
+    network: DeviceNetwork
+    kind: str  # "remove" or "add"
+    uid: int  # device removed or added
+    step: int
+
+
+def network_churn(
+    initial: DeviceNetwork, config: ChurnConfig, rng: np.random.Generator
+) -> Iterator[ChurnEvent]:
+    """Yield a sequence of network changes starting from ``initial``.
+
+    Removals never orphan a hardware type (some device supporting each
+    type always remains) and additions insert fresh devices whose
+    capacity decays with each generation, following the paper's
+    "replaced with new devices of lower capacities" protocol.
+    """
+    net = initial
+    next_uid = max(d.uid for d in net.devices) + 1
+    generation = 0
+
+    def removable(n: DeviceNetwork) -> list[int]:
+        """uids whose removal keeps every hardware type covered."""
+        out = []
+        for d in n.devices:
+            others = [o for o in n.devices if o.uid != d.uid]
+            covered = set().union(*(o.supports for o in others)) if others else set()
+            if d.supports <= covered:
+                out.append(d.uid)
+        return out
+
+    for step in range(config.num_changes):
+        can_remove = net.num_devices > config.min_devices and removable(net)
+        must_add = net.num_devices < config.min_devices
+        can_add = net.num_devices < config.max_devices
+
+        if must_add or (can_add and (not can_remove or rng.random() < 0.5)):
+            generation += 1
+            decay = config.capacity_decay**generation
+            template = net.devices[int(rng.integers(0, net.num_devices))]
+            device = Device(
+                uid=next_uid,
+                speed=max(template.speed * decay, 1e-6),
+                supports=template.supports,
+                compute_power=template.compute_power / max(decay, 1e-6),
+            )
+            mean_bw = float(
+                np.mean(net.bandwidth[np.isfinite(net.bandwidth)]) if net.num_devices > 1 else 100.0
+            )
+            mean_dl = float(np.mean(net.delay)) if net.num_devices > 1 else 1.0
+            net = net.with_device(device, bandwidth_to=mean_bw * decay, delay_to=mean_dl / max(decay, 1e-6))
+            next_uid += 1
+            yield ChurnEvent(net, "add", device.uid, step)
+        else:
+            uid = int(rng.choice(can_remove))
+            net = net.without_device(uid)
+            yield ChurnEvent(net, "remove", uid, step)

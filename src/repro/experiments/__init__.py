@@ -1,0 +1,66 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run(scale, seed=0) -> ExperimentReport``; the
+benchmark suite executes them all (quick preset by default; set
+``REPRO_SCALE=paper`` for paper-scale runs) and asserts the paper's
+qualitative shapes.
+"""
+
+from . import (
+    ablation,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+    fig11,
+    fig14,
+    fig15,
+    fig16,
+    table1,
+    table6,
+    table7,
+)
+from .base import ExperimentReport
+from .config import PAPER, QUICK, Scale, active_scale
+from .datasets import Dataset, multi_network_dataset, single_network_dataset
+from .runner import (
+    EvalResult,
+    HeftPolicy,
+    average_curves,
+    evaluate_policies,
+    train_giph,
+    train_placeto,
+    train_task_eft,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "Scale",
+    "PAPER",
+    "QUICK",
+    "active_scale",
+    "Dataset",
+    "single_network_dataset",
+    "multi_network_dataset",
+    "EvalResult",
+    "HeftPolicy",
+    "average_curves",
+    "evaluate_policies",
+    "train_giph",
+    "train_placeto",
+    "train_task_eft",
+    "ablation",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "fig11",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table1",
+    "table6",
+    "table7",
+]

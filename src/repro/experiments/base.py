@@ -1,0 +1,26 @@
+"""Common experiment-report container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Output of one experiment module.
+
+    ``text`` is the printable reproduction of the paper's figure/table;
+    ``data`` holds the raw numbers for programmatic checks (benchmarks
+    assert the paper's qualitative shape on them).
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"[{self.experiment_id}] {self.title}\n{self.text}"

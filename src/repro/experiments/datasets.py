@@ -1,0 +1,108 @@
+"""Dataset builders for the synthetic experiments (paper §5.1).
+
+Two generalization regimes:
+
+* **single-device-network** — one network shared by train and test
+  (Placeto's setting; application-level generalization only);
+* **multiple-device-network** — train/test instances pair graphs with
+  networks of varying per-device compute and communication capacity
+  (device-network generalization, where GiPH's gpNet matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.placement import PlacementProblem
+from ..devices.generator import DeviceNetworkParams, generate_device_network
+from ..graphs.generator import TaskGraphParams, generate_task_graph
+from .config import Scale
+
+__all__ = ["Dataset", "single_network_dataset", "multi_network_dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Train/test splits of placement problems."""
+
+    train: list[PlacementProblem]
+    test: list[PlacementProblem]
+    name: str
+
+
+def _graph_params(scale: Scale, rng: np.random.Generator) -> TaskGraphParams:
+    """Per-graph parameter draw: varied shape/density as in §B.2 (the
+    generators take multiple values per parameter)."""
+    return TaskGraphParams(
+        num_tasks=scale.num_tasks,
+        shape=float(rng.choice([0.5, 1.0, 2.0])),
+        connect_prob=float(rng.choice([0.2, 0.3, 0.5])),
+        het_compute=float(rng.choice([0.25, 0.5])),
+        het_data=float(rng.choice([0.25, 0.5])),
+        constraint_prob=0.25,
+    )
+
+
+def _network_params(scale: Scale, rng: np.random.Generator, num_devices: int | None = None) -> DeviceNetworkParams:
+    return DeviceNetworkParams(
+        num_devices=num_devices or scale.num_devices,
+        mean_speed=float(rng.choice([5.0, 10.0, 20.0])),
+        mean_bandwidth=float(rng.choice([50.0, 100.0])),
+        mean_delay=float(rng.choice([0.5, 1.0])),
+        het_speed=0.5,
+        het_bandwidth=0.5,
+        support_prob=0.6,
+    )
+
+
+def single_network_dataset(scale: Scale, rng: np.random.Generator) -> Dataset:
+    """One device network; graphs split evenly into train/test (§5.1
+    case 1: 300 graphs split equally in the paper)."""
+    network = generate_device_network(_network_params(scale, rng), rng)
+    train = [
+        PlacementProblem(generate_task_graph(_graph_params(scale, rng), rng), network)
+        for _ in range(scale.train_graphs)
+    ]
+    test = [
+        PlacementProblem(generate_task_graph(_graph_params(scale, rng), rng), network)
+        for _ in range(scale.test_cases)
+    ]
+    return Dataset(train, test, "single-network")
+
+
+def multi_network_dataset(
+    scale: Scale, rng: np.random.Generator, vary_sizes: bool = False
+) -> Dataset:
+    """Multiple device networks with varying capacities (§5.1 case 2:
+    500 test cases from 10 networks × 120 graphs in the paper)."""
+    sizes = None
+    if vary_sizes:
+        sizes = [
+            int(rng.integers(max(2, scale.num_devices // 2), scale.num_devices + 1))
+            for _ in range(scale.num_networks)
+        ]
+    networks = [
+        generate_device_network(
+            _network_params(scale, rng, num_devices=None if sizes is None else sizes[i]),
+            rng,
+            uid_offset=i * 1000,
+            name=f"net-{i}",
+        )
+        for i in range(scale.num_networks)
+    ]
+
+    def sample_problems(count: int) -> list[PlacementProblem]:
+        problems = []
+        for _ in range(count):
+            network = networks[int(rng.integers(0, len(networks)))]
+            graph = generate_task_graph(_graph_params(scale, rng), rng)
+            problems.append(PlacementProblem(graph, network))
+        return problems
+
+    return Dataset(
+        sample_problems(scale.train_graphs),
+        sample_problems(scale.test_cases),
+        "multi-network" + ("-varied-sizes" if vary_sizes else ""),
+    )

@@ -1,0 +1,154 @@
+"""Figure 11: relocation costs and energy-objective generality (§5.3, §6).
+
+Left: the relocation cost GiPH's policy incurs when reacting to a
+network change, as a function of the pipeline frequency — amortizing
+relocation over future runs makes high-frequency pipelines tolerate
+costlier moves, so incurred cost rises with frequency.
+
+Right: swapping the reward to an energy objective, GiPH's placements
+beat both random and (makespan-optimizing) HEFT on total energy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines.giph_policy import GiPHSearchPolicy
+from ..baselines.heft import heft_placement
+from ..casestudy.measurements import TABLE2_RELOCATION
+from ..core.placement import PlacementProblem, random_placement
+from ..core.search import run_search
+from ..sim.metrics import energy_cost
+from ..sim.objectives import EnergyObjective, MakespanObjective, Objective
+from ..sim.relocation import RelocationCostModel
+from .base import ExperimentReport
+from .config import Scale
+from .fig9 import case_study_problems
+from .reporting import banner, format_table
+from .runner import train_giph
+
+__all__ = ["run", "RelocationAwareMakespan"]
+
+
+class RelocationAwareMakespan:
+    """Makespan plus amortized relocation cost away from a reference placement.
+
+    ρ(M) = makespan(M) + Σ_{i: M(i) ≠ M_ref(i)} cost_i / f  — the §5.3
+    trade-off: a relocation is worth its cost if it speeds up all future
+    runs of a pipeline executing at frequency f.
+    """
+
+    def __init__(
+        self,
+        reference_placement: Sequence[int],
+        relocation_model: RelocationCostModel,
+        task_kinds: Sequence[str],
+        problem: PlacementProblem,
+        pipeline_frequency_hz: float,
+    ) -> None:
+        if pipeline_frequency_hz <= 0:
+            raise ValueError("pipeline frequency must be positive")
+        self.reference = tuple(reference_placement)
+        self.model = relocation_model
+        self.task_kinds = tuple(task_kinds)
+        self.problem = problem
+        self.frequency = pipeline_frequency_hz
+        self._makespan = MakespanObjective()
+
+    def relocation_cost_ms(self, placement: Sequence[int]) -> float:
+        """Un-amortized total relocation cost vs the reference placement."""
+        total = 0.0
+        network = self.problem.network
+        for i, (old, new) in enumerate(zip(self.reference, placement)):
+            if old == new:
+                continue
+            kind = self.task_kinds[i]
+            if kind not in self.model.profiles:
+                continue  # pinned sensor/actuation tasks never move
+            total += self.model.cost_ms(
+                kind, network, network.devices[old].uid, network.devices[new].uid
+            )
+        return total
+
+    def evaluate(self, cost_model, placement: Sequence[int]) -> float:
+        makespan = self._makespan.evaluate(cost_model, placement)
+        return makespan + self.relocation_cost_ms(placement) / self.frequency
+
+
+def _relocation_sweep(scale: Scale, rng: np.random.Generator):
+    """Left panel: incurred relocation cost vs pipeline frequency."""
+    train, test, scenarios = case_study_problems(scale, rng)
+    agent = train_giph(train, rng, scale.case_episodes)
+    frequencies = [0.1, 1.0, 10.0, 30.0]
+
+    rows = []
+    incurred: dict[float, list[float]] = {f: [] for f in frequencies}
+    eval_scenarios = scenarios[: max(len(test), 1)]
+    for scenario in eval_scenarios:
+        problem = scenario.problem
+        model = RelocationCostModel(
+            TABLE2_RELOCATION,
+            {uid: t for uid, t in scenario.device_types.items() if t != "CIS"},
+        )
+        reference = random_placement(problem, rng)
+        for freq in frequencies:
+            objective = RelocationAwareMakespan(
+                reference, model, scenario.task_kinds, problem, freq
+            )
+            trace = run_search(
+                agent, problem, objective, reference, episode_length=problem.graph.num_tasks
+            )
+            incurred[freq].append(objective.relocation_cost_ms(trace.best_placement))
+    for freq in frequencies:
+        rows.append([freq, float(np.mean(incurred[freq]))])
+    return rows, incurred
+
+
+def _energy_comparison(scale: Scale, rng: np.random.Generator):
+    """Right panel: total energy of GiPH vs HEFT vs random placements."""
+    train, test, _ = case_study_problems(scale, rng)
+    objective = EnergyObjective()
+    agent = train_giph(train, rng, scale.case_episodes, objective=objective)
+    policy = GiPHSearchPolicy(agent)
+
+    totals = {"giph": [], "heft": [], "random": []}
+    for problem in test:
+        initial = random_placement(problem, rng)
+        trace = policy.search(
+            problem, objective, initial, 2 * problem.graph.num_tasks, rng
+        )
+        totals["giph"].append(trace.best_value)
+        totals["heft"].append(
+            energy_cost(problem.cost_model, heft_placement(problem).placement)
+        )
+        totals["random"].append(energy_cost(problem.cost_model, initial))
+    return {k: float(np.mean(v)) for k, v in totals.items()}
+
+
+def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+    rng = np.random.default_rng(seed)
+    reloc_rows, incurred = _relocation_sweep(scale, rng)
+    energy = _energy_comparison(scale, rng)
+
+    text = "\n".join(
+        [
+            banner("Fig. 11 (left): incurred relocation cost vs pipeline frequency"),
+            format_table(["pipeline frequency (Hz)", "mean relocation cost (ms)"], reloc_rows),
+            banner("Fig. 11 (right): total energy cost across test cases"),
+            format_table(
+                ["policy", "mean energy"],
+                [[k, v] for k, v in sorted(energy.items(), key=lambda kv: kv[1])],
+            ),
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="fig11",
+        title="Relocation cost vs pipeline frequency; energy-objective comparison",
+        text=text,
+        data={
+            "relocation_cost_by_frequency": {str(r[0]): r[1] for r in reloc_rows},
+            "energy": energy,
+        },
+    )

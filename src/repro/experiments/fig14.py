@@ -1,0 +1,111 @@
+"""Figure 14: policy convergence of the GNN implementation alternatives.
+
+Appendix B.6 trains GiPH, GiPH-3, GiPH-5, GiPH-NE, GraphSAGE-NE,
+GiPH-NE-Pol and GiPH-task-eft (plus Placeto where applicable) and
+evaluates every few episodes on held-out cases, across three settings:
+a single network, multiple fixed-size networks, and networks of varied
+sizes.  Expected shape: GiPH/GiPH-k converge; GraphSAGE-NE (one-way
+message passing) and GiPH-task-eft (no gpNet) are the unstable ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.giph_policy import GiPHSearchPolicy
+from ..baselines.task_eft import TaskEftAgent, TaskEftTrainer
+from ..core.agent import GiPHAgent
+from ..core.features import FeatureConfig
+from ..core.placement import PlacementProblem
+from ..core.reinforce import ReinforceConfig, ReinforceTrainer
+from ..sim.objectives import MakespanObjective
+from .base import ExperimentReport
+from .config import Scale
+from .datasets import Dataset, multi_network_dataset, single_network_dataset
+from .reporting import banner, format_series
+from .runner import evaluate_policies
+
+__all__ = ["run", "convergence_curve", "GNN_VARIANTS"]
+
+GNN_VARIANTS = ("giph", "giph-3", "giph-5", "giph-ne", "graphsage-ne", "giph-ne-pol")
+
+
+def convergence_curve(
+    variant: str,
+    dataset: Dataset,
+    scale: Scale,
+    rng: np.random.Generator,
+    feature_config: FeatureConfig | None = None,
+) -> list[float]:
+    """Mean eval SLR after every ``convergence_eval_every`` episodes."""
+    objective = MakespanObjective()
+    eval_cases = dataset.test[: scale.convergence_eval_cases]
+    curve: list[float] = []
+
+    def evaluate(policy) -> float:
+        result = evaluate_policies({"p": policy}, eval_cases, np.random.default_rng(12345))
+        return result.mean_final("p")
+
+    if variant == "giph-task-eft":
+        agent = TaskEftAgent(rng)
+        trainer = TaskEftTrainer(agent, objective)
+        for _ in range(scale.convergence_episodes // scale.convergence_eval_every):
+            trainer.train(dataset.train, rng, episodes=scale.convergence_eval_every)
+            curve.append(evaluate(agent))
+        return curve
+
+    agent = GiPHAgent(rng, embedding=variant)
+    config = ReinforceConfig(
+        episodes=scale.convergence_episodes,
+        feature_config=feature_config or FeatureConfig(),
+    )
+    trainer = ReinforceTrainer(agent, objective, config)
+    policy = GiPHSearchPolicy(agent, feature_config=feature_config)
+    for _ in range(scale.convergence_episodes // scale.convergence_eval_every):
+        trainer.train(dataset.train, rng, episodes=scale.convergence_eval_every)
+        curve.append(evaluate(policy))
+    return curve
+
+
+def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+    rng = np.random.default_rng(seed)
+    settings: list[tuple[str, Dataset]] = [
+        ("single network", single_network_dataset(scale, rng)),
+        ("multiple networks, same size", multi_network_dataset(scale, rng)),
+        ("multiple networks, varied sizes", multi_network_dataset(scale, rng, vary_sizes=True)),
+    ]
+    variants = [*GNN_VARIANTS, "giph-task-eft"]
+
+    sections = []
+    data: dict[str, dict[str, list[float]]] = {}
+    episodes_axis = list(
+        range(
+            scale.convergence_eval_every,
+            scale.convergence_episodes + 1,
+            scale.convergence_eval_every,
+        )
+    )
+    for label, dataset in settings:
+        curves = {
+            v: convergence_curve(v, dataset, scale, np.random.default_rng(seed + 1))
+            for v in variants
+        }
+        sections.append(banner(f"Fig. 14: convergence — {label}"))
+        sections.append(
+            format_series(
+                curves,
+                x=episodes_axis,
+                x_label="episodes",
+                title="average SLR on evaluation cases",
+            )
+        )
+        data[label] = curves
+
+    return ExperimentReport(
+        experiment_id="fig14",
+        title="Convergence of GNN implementation alternatives",
+        text="\n".join(sections),
+        data=data,
+    )

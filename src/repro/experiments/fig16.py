@@ -1,0 +1,67 @@
+"""Figure 16: total-cost minimization (paper §B.8).
+
+GiPH's reward is swapped for the reduction of
+Σ compute cost + Σ communication cost.  HEFT still optimizes makespan,
+so GiPH should beat it (and random) on this objective — demonstrating
+objective generality.  Reported, like the paper, as total cost of the
+final placements versus task-graph depth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..baselines.giph_policy import GiPHSearchPolicy
+from ..baselines.random_policies import RandomPlacementPolicy
+from ..sim.objectives import TotalCostObjective
+from .base import ExperimentReport
+from .config import Scale
+from .datasets import multi_network_dataset
+from .reporting import banner, format_table
+from .runner import HeftPolicy, evaluate_policies, train_giph
+
+__all__ = ["run"]
+
+
+def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+    rng = np.random.default_rng(seed)
+    dataset = multi_network_dataset(scale, rng)
+    objective = TotalCostObjective()
+
+    policies = {
+        "giph": GiPHSearchPolicy(
+            train_giph(dataset.train, rng, scale.episodes, objective=objective)
+        ),
+        "random": RandomPlacementPolicy(),
+        "heft": HeftPolicy(),
+    }
+    result = evaluate_policies(
+        policies, dataset.test, rng, normalize_slr=False, objective=objective
+    )
+
+    by_depth: dict[int, dict[str, list[float]]] = defaultdict(lambda: defaultdict(list))
+    for idx, problem in enumerate(dataset.test):
+        for name in policies:
+            by_depth[problem.graph.depth][name].append(result.finals[name][idx])
+
+    names = list(policies)
+    rows = []
+    for depth in sorted(by_depth):
+        rows.append(
+            [depth, *(float(np.mean(by_depth[depth][n])) for n in names)]
+        )
+
+    text = "\n".join(
+        [
+            banner("Fig. 16: total communication+computation cost vs graph depth"),
+            format_table(["depth", *names], rows),
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="fig16",
+        title="Total cost minimization via reward swap",
+        text=text,
+        data={"overall": {n: result.mean_final(n) for n in names}},
+    )

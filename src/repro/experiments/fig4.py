@@ -1,0 +1,79 @@
+"""Figure 4: placement quality and search efficiency of search policies.
+
+Four panels: {single network, multiple networks} × {noise 0, noise 0.2}.
+Each panel plots average SLR against the number of search steps for
+GiPH, GiPH-task-EFT, Placeto, random-task+EFT and random sampling.
+Expected shape (paper): GiPH lowest everywhere; Placeto degrades under
+noise and falls behind random in the multi-network case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.giph_policy import GiPHSearchPolicy
+from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
+from .base import ExperimentReport
+from .config import Scale
+from .datasets import Dataset, multi_network_dataset, single_network_dataset
+from .reporting import banner, format_series
+from .runner import evaluate_policies, train_giph, train_placeto, train_task_eft
+
+__all__ = ["run"]
+
+
+def _panel(dataset: Dataset, scale: Scale, noise: float, rng: np.random.Generator):
+    giph = train_giph(dataset.train, rng, scale.episodes)
+    task_eft = train_task_eft(dataset.train, rng, scale.episodes)
+    policies = {
+        "giph": GiPHSearchPolicy(giph),
+        "giph-task-eft": task_eft,
+        "random-task-eft": RandomTaskEftPolicy(),
+        "random": RandomPlacementPolicy(),
+    }
+    device_counts = {p.network.num_devices for p in dataset.train + dataset.test}
+    if len(device_counts) == 1:
+        policies["placeto"] = train_placeto(dataset.train, rng, scale.episodes)
+    else:  # paper's multi-network case: head sized for the largest cluster
+        biggest = [p for p in dataset.train if p.network.num_devices == max(device_counts)]
+        policies["placeto"] = train_placeto(
+            biggest or dataset.train[:1], rng, scale.episodes
+        )
+    result = evaluate_policies(policies, dataset.test, rng, noise=noise)
+    return result
+
+
+def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+    """Reproduce Fig. 4's four panels at the given scale."""
+    rng = np.random.default_rng(seed)
+    sections: list[str] = []
+    data: dict[str, dict] = {}
+
+    for dataset_builder, label in (
+        (single_network_dataset, "single-network"),
+        (multi_network_dataset, "multi-network"),
+    ):
+        dataset = dataset_builder(scale, rng)
+        for noise in (0.0, 0.2):
+            panel = f"{label}, noise={noise}"
+            result = _panel(dataset, scale, noise, rng)
+            sections.append(banner(f"Fig. 4 panel: {panel}"))
+            sections.append(
+                format_series(
+                    {name: curve for name, curve in result.curves.items()},
+                    x_label="search step",
+                    title="average SLR (best-so-far) vs search steps",
+                    every=max(1, scale.num_tasks // 2),
+                )
+            )
+            data[panel] = {
+                "curves": {k: v.tolist() for k, v in result.curves.items()},
+                "final": {k: result.mean_final(k) for k in result.finals},
+            }
+
+    return ExperimentReport(
+        experiment_id="fig4",
+        title="Placement quality and search efficiency of search-based policies",
+        text="\n".join(sections),
+        data=data,
+    )

@@ -1,0 +1,187 @@
+"""Shared train/evaluate machinery for the experiment modules.
+
+Evaluation follows §5's protocol: all search policies start each test
+case from the same random initial placement, run for 2·|V| steps, and
+report the best-so-far objective after every step, normalized to SLR
+(makespan experiments) via the CP_MIN lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..baselines.base import SearchPolicy, trace_from_values
+from ..baselines.heft import heft_placement
+from ..baselines.placeto import PlacetoAgent, PlacetoTrainer
+from ..baselines.task_eft import TaskEftAgent, TaskEftTrainer
+from ..core.agent import GiPHAgent
+from ..core.placement import PlacementProblem, random_placement
+from ..core.reinforce import ReinforceConfig, ReinforceTrainer
+from ..core.search import SearchTrace
+from ..sim.metrics import cp_min_lower_bound
+from ..sim.objectives import MakespanObjective, Objective
+
+__all__ = [
+    "HeftPolicy",
+    "EvalResult",
+    "train_giph",
+    "train_placeto",
+    "train_task_eft",
+    "evaluate_policies",
+    "average_curves",
+]
+
+
+class HeftPolicy:
+    """HEFT wrapped as a (static) search policy: its placement is
+    computed once and reported as a constant best-so-far curve."""
+
+    name = "heft"
+
+    def search(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        initial_placement: Sequence[int],
+        episode_length: int,
+        rng: np.random.Generator,
+    ) -> SearchTrace:
+        placement = heft_placement(problem).placement
+        value = objective.evaluate(problem.cost_model, placement)
+        return trace_from_values(
+            [placement] * (episode_length + 1),
+            [value] * (episode_length + 1),
+            problem.graph.num_tasks,
+        )
+
+
+def train_giph(
+    problems: Sequence[PlacementProblem],
+    rng: np.random.Generator,
+    episodes: int,
+    objective: Objective | None = None,
+    embedding: str = "giph",
+    feature_config=None,
+) -> GiPHAgent:
+    """Train a GiPH agent (any GNN variant) on ``problems``."""
+    agent = GiPHAgent(rng, embedding=embedding)
+    config = ReinforceConfig(episodes=episodes)
+    if feature_config is not None:
+        config = ReinforceConfig(episodes=episodes, feature_config=feature_config)
+    trainer = ReinforceTrainer(agent, objective or MakespanObjective(), config)
+    trainer.train(problems, rng, episodes=episodes)
+    return agent
+
+
+def train_placeto(
+    problems: Sequence[PlacementProblem],
+    rng: np.random.Generator,
+    episodes: int,
+    objective: Objective | None = None,
+) -> PlacetoAgent:
+    """Train a Placeto agent; requires all problems share a device count."""
+    counts = {p.network.num_devices for p in problems}
+    if len(counts) != 1:
+        raise ValueError(
+            f"Placeto requires a fixed device count, got {sorted(counts)} — "
+            "this is precisely the limitation GiPH lifts"
+        )
+    agent = PlacetoAgent(rng, num_devices=counts.pop())
+    PlacetoTrainer(agent, objective or MakespanObjective()).train(problems, rng, episodes)
+    return agent
+
+
+def train_task_eft(
+    problems: Sequence[PlacementProblem],
+    rng: np.random.Generator,
+    episodes: int,
+    objective: Objective | None = None,
+) -> TaskEftAgent:
+    """Train the GiPH-task-EFT ablation agent."""
+    agent = TaskEftAgent(rng)
+    TaskEftTrainer(agent, objective or MakespanObjective()).train(problems, rng, episodes)
+    return agent
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Evaluation sweep output.
+
+    ``curves[name][t]`` — mean normalized best-so-far value after t steps
+    (t=0 is the shared initial placement); ``finals[name]`` — per-case
+    final normalized values; ``traces[name]`` — raw per-case traces.
+    """
+
+    curves: dict[str, np.ndarray]
+    finals: dict[str, list[float]]
+    traces: dict[str, list[SearchTrace]]
+
+    def mean_final(self, name: str) -> float:
+        return float(np.mean(self.finals[name]))
+
+
+def average_curves(curves: list[np.ndarray]) -> np.ndarray:
+    """Average best-so-far curves of different lengths by extending each
+    with its final value (a case that converged early stays converged)."""
+    if not curves:
+        raise ValueError("no curves to average")
+    length = max(len(c) for c in curves)
+    padded = [
+        np.concatenate([c, np.full(length - len(c), c[-1])]) if len(c) < length else np.asarray(c)
+        for c in curves
+    ]
+    return np.mean(padded, axis=0)
+
+
+def evaluate_policies(
+    policies: Mapping[str, SearchPolicy],
+    problems: Sequence[PlacementProblem],
+    rng: np.random.Generator,
+    noise: float = 0.0,
+    episode_multiplier: int = 2,
+    normalize_slr: bool = True,
+    objective: Objective | None = None,
+) -> EvalResult:
+    """Run every policy on every test case from a shared initial placement.
+
+    With ``normalize_slr`` (makespan experiments) values are divided by
+    the CP_MIN lower bound; otherwise raw objective values are reported
+    (cost/energy experiments pass their own ``objective``).
+    """
+    curves: dict[str, list[np.ndarray]] = {name: [] for name in policies}
+    finals: dict[str, list[float]] = {name: [] for name in policies}
+    traces: dict[str, list[SearchTrace]] = {name: [] for name in policies}
+
+    for case_index, problem in enumerate(problems):
+        case_rng = np.random.default_rng(rng.integers(0, 2**63))
+        initial = random_placement(problem, case_rng)
+        steps = episode_multiplier * problem.graph.num_tasks
+        denom = cp_min_lower_bound(problem.cost_model) if normalize_slr else 1.0
+        for name, policy in policies.items():
+            if objective is not None:
+                case_objective: Objective = objective
+            elif noise > 0.0:
+                case_objective = MakespanObjective(
+                    noise=noise, rng=np.random.default_rng(case_rng.integers(0, 2**63))
+                )
+            else:
+                case_objective = MakespanObjective()
+            trace = policy.search(
+                problem,
+                case_objective,
+                initial,
+                steps,
+                np.random.default_rng(case_rng.integers(0, 2**63)),
+            )
+            curves[name].append(np.asarray(trace.best_over_time) / denom)
+            finals[name].append(trace.best_value / denom)
+            traces[name].append(trace)
+
+    return EvalResult(
+        curves={name: average_curves(cs) for name, cs in curves.items()},
+        finals=finals,
+        traces=traces,
+    )

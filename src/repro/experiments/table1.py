@@ -1,0 +1,78 @@
+"""Tables 1-2: case-study measurements and the fitted latency model.
+
+Table 1 and Table 2 are measured inputs in the paper; this module
+reproduces them as the constants the case study consumes and reports the
+quality of the C_i·T_j + S_j latency fit built on Table 1 (§B.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..casestudy.devicemodel import fit_latency_model
+from ..casestudy.measurements import (
+    DEVICE_TYPES,
+    TABLE1_MEAN_MS,
+    TABLE1_STD_MS,
+    TABLE2_RELOCATION,
+    TASK_KINDS,
+)
+from .base import ExperimentReport
+from .config import Scale
+from .reporting import banner, format_table
+
+__all__ = ["run"]
+
+
+def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+    fit = fit_latency_model()
+
+    t1_rows = [
+        [
+            kind,
+            *(
+                f"{TABLE1_MEAN_MS[kind][t]:.0f}±{TABLE1_STD_MS[kind][t]:.0f}"
+                for t in DEVICE_TYPES
+            ),
+        ]
+        for kind in TASK_KINDS
+    ]
+    fit_rows = [
+        [kind, *(f"{fit.predicted_ms(kind, t):.1f}" for t in DEVICE_TYPES)]
+        for kind in TASK_KINDS
+    ]
+    t2_rows = [
+        [
+            kind,
+            f"{p.migration_bytes:.0f}",
+            f"{p.static_init_kbytes:.3f}",
+            f"{p.startup_ms('A'):.2f}",
+            f"{p.startup_ms('C'):.2f}",
+        ]
+        for kind, p in TABLE2_RELOCATION.items()
+    ]
+
+    text = "\n".join(
+        [
+            banner("Table 1: task running times by device type (ms, mean±std)"),
+            format_table(["task", *DEVICE_TYPES], t1_rows),
+            banner("Fitted latency model C_i·T_j + S_j (predicted means, ms)"),
+            format_table(["task", *DEVICE_TYPES], fit_rows),
+            f"relative RMS fit error: {fit.relative_rms_error():.3f}",
+            banner("Table 2: relocation overhead per task"),
+            format_table(
+                ["task", "migration (B)", "static init (KB)", "startup A (ms)", "startup C (ms)"],
+                t2_rows,
+            ),
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="table1",
+        title="Case-study measurements and latency fit",
+        text=text,
+        data={
+            "fit_rms": fit.relative_rms_error(),
+            "unit_time": fit.unit_time,
+            "startup": fit.startup,
+        },
+    )

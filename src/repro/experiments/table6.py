@@ -1,0 +1,96 @@
+"""Table 6: pairwise placement-quality comparison of GiPH variants + HEFT.
+
+For every test case and every ordered pair of methods, count whether the
+row method's final SLR is better than / equal to / worse than the column
+method's.  Expected shape: GiPH's "better" share dominates every
+variant, and it trades roughly evenly with HEFT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.giph_policy import GiPHSearchPolicy
+from .base import ExperimentReport
+from .config import Scale
+from .datasets import multi_network_dataset
+from .reporting import banner, format_table
+from .runner import HeftPolicy, evaluate_policies, train_giph, train_task_eft
+
+__all__ = ["run", "pairwise_matrix"]
+
+METHODS = ("giph", "giph-3", "giph-5", "giph-ne", "giph-ne-pol", "giph-task-eft", "heft")
+
+_EQ_TOL = 1e-9
+
+
+def pairwise_matrix(finals: dict[str, list[float]]) -> dict[tuple[str, str], tuple[float, float, float]]:
+    """(row, col) -> (better%, equal%, worse%) of row vs col."""
+    out = {}
+    names = list(finals)
+    n = len(next(iter(finals.values())))
+    for a in names:
+        for b in names:
+            if a == b:
+                continue
+            better = equal = worse = 0
+            for va, vb in zip(finals[a], finals[b]):
+                if abs(va - vb) <= _EQ_TOL:
+                    equal += 1
+                elif va < vb:
+                    better += 1
+                else:
+                    worse += 1
+            out[(a, b)] = (100.0 * better / n, 100.0 * equal / n, 100.0 * worse / n)
+    return out
+
+
+def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+    rng = np.random.default_rng(seed)
+    dataset = multi_network_dataset(scale, rng)
+    test = dataset.test[: scale.pairwise_cases]
+
+    policies = {
+        "giph": GiPHSearchPolicy(train_giph(dataset.train, rng, scale.episodes)),
+        "giph-3": GiPHSearchPolicy(
+            train_giph(dataset.train, rng, scale.episodes, embedding="giph-3"), name="giph-3"
+        ),
+        "giph-5": GiPHSearchPolicy(
+            train_giph(dataset.train, rng, scale.episodes, embedding="giph-5"), name="giph-5"
+        ),
+        "giph-ne": GiPHSearchPolicy(
+            train_giph(dataset.train, rng, scale.episodes, embedding="giph-ne"), name="giph-ne"
+        ),
+        "giph-ne-pol": GiPHSearchPolicy(
+            train_giph(dataset.train, rng, scale.episodes, embedding="giph-ne-pol"),
+            name="giph-ne-pol",
+        ),
+        "giph-task-eft": train_task_eft(dataset.train, rng, scale.episodes),
+        "heft": HeftPolicy(),
+    }
+    result = evaluate_policies(policies, test, rng)
+    matrix = pairwise_matrix(result.finals)
+
+    rows = []
+    for a in METHODS:
+        for label, pick in (("better", 0), ("equal", 1), ("worse", 2)):
+            row: list[object] = [a if pick == 0 else "", label]
+            for b in METHODS:
+                row.append("" if a == b else f"{matrix[(a, b)][pick]:.1f}%")
+            rows.append(row)
+
+    text = "\n".join(
+        [
+            banner(f"Table 6: pairwise SLR comparison over {len(test)} test cases"),
+            format_table(["method", "", *METHODS], rows),
+        ]
+    )
+    return ExperimentReport(
+        experiment_id="table6",
+        title="Pairwise placement quality comparison",
+        text=text,
+        data={
+            "matrix": {f"{a}|{b}": v for (a, b), v in matrix.items()},
+            "mean_final": {k: result.mean_final(k) for k in policies},
+        },
+    )

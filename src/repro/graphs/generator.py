@@ -1,0 +1,163 @@
+"""Parametric random task-graph generator (paper Appendix B.2).
+
+Follows the method of Topcuoglu et al. (2002): the DAG depth is sampled
+around ``sqrt(M)/alpha``, per-level widths around ``alpha*sqrt(M)``, and
+edges run from higher (shallower) levels to lower levels with probability
+``p_c``.  Graphs are single-entry / single-exit by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .task_graph import TaskGraph
+
+__all__ = ["TaskGraphParams", "generate_task_graph", "generate_task_graphs"]
+
+
+@dataclass(frozen=True)
+class TaskGraphParams:
+    """Input parameters of the task-graph generator (§B.2 symbols).
+
+    Attributes
+    ----------
+    num_tasks: M, number of tasks in the graph.
+    shape: α, controls depth (≈√M/α) vs. width (≈α·√M).
+    connect_prob: p_c, probability of an edge between nodes in
+        consecutive-or-later levels.
+    mean_compute: C̄, average task compute requirement.
+    mean_data: B̄, average bytes per data link.
+    het_compute: ε_C, compute heterogeneity (uniform ±ε_C·C̄).
+    het_data: ε_B, data heterogeneity (uniform ±ε_B·B̄).
+    num_hardware_types: number of distinct hardware requirements; type 0
+        means "runs anywhere".
+    constraint_prob: probability a task gets a non-trivial hardware
+        requirement (drives the average number of feasible devices).
+    """
+
+    num_tasks: int = 20
+    shape: float = 1.0
+    connect_prob: float = 0.3
+    mean_compute: float = 100.0
+    mean_data: float = 100.0
+    het_compute: float = 0.5
+    het_data: float = 0.5
+    num_hardware_types: int = 3
+    constraint_prob: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise ValueError("num_tasks must be >= 1")
+        if self.shape <= 0:
+            raise ValueError("shape must be positive")
+        if not 0.0 <= self.connect_prob <= 1.0:
+            raise ValueError("connect_prob must be in [0, 1]")
+        if not 0.0 <= self.het_compute <= 1.0 or not 0.0 <= self.het_data <= 1.0:
+            raise ValueError("heterogeneity factors must be in [0, 1]")
+        if self.num_hardware_types < 1:
+            raise ValueError("need at least hardware type 0")
+        if not 0.0 <= self.constraint_prob <= 1.0:
+            raise ValueError("constraint_prob must be in [0, 1]")
+
+
+def _sample_levels(params: TaskGraphParams, rng: np.random.Generator) -> list[int]:
+    """Split M tasks into levels; first and last levels have width 1."""
+    m = params.num_tasks
+    if m <= 2:
+        return [1] * m
+    mean_depth = np.sqrt(m) / params.shape
+    depth = int(np.clip(round(rng.uniform(0.5 * mean_depth, 1.5 * mean_depth)), 2, m))
+    interior = m - 2  # entry and exit take one task each
+    num_interior_levels = max(depth - 2, 0)
+    if num_interior_levels == 0 or interior == 0:
+        widths = [1] + [1] * interior + [1]
+        return widths[: 2 + interior] if interior else [1, 1]
+    mean_width = params.shape * np.sqrt(m)
+    raw = rng.uniform(0.5 * mean_width, 1.5 * mean_width, size=num_interior_levels)
+    raw = np.maximum(raw, 1.0)
+    # Scale to exactly `interior` tasks, then fix rounding drift.
+    widths = np.maximum(np.round(raw * interior / raw.sum()).astype(int), 1)
+    while widths.sum() > interior:
+        widths[int(np.argmax(widths))] -= 1
+        widths = np.maximum(widths, 1)
+        if widths.sum() <= interior and (widths == 1).all():
+            break
+    while widths.sum() < interior:
+        widths[int(np.argmin(widths))] += 1
+    return [1] + list(widths) + [1]
+
+
+def generate_task_graph(
+    params: TaskGraphParams, rng: np.random.Generator, name: str | None = None
+) -> TaskGraph:
+    """Sample one random task graph.
+
+    Connectivity guarantees: every non-entry task has at least one parent
+    in an earlier level and every non-exit task at least one child in a
+    later level, so the graph is single-entry/single-exit and connected.
+    """
+    widths = _sample_levels(params, rng)
+    levels: list[list[int]] = []
+    next_id = 0
+    for w in widths:
+        levels.append(list(range(next_id, next_id + w)))
+        next_id += w
+    n = next_id
+
+    lo_c = params.mean_compute * (1 - params.het_compute)
+    hi_c = params.mean_compute * (1 + params.het_compute)
+    compute = rng.uniform(lo_c, hi_c, size=n)
+
+    lo_b = params.mean_data * (1 - params.het_data)
+    hi_b = params.mean_data * (1 + params.het_data)
+
+    edges: dict[tuple[int, int], float] = {}
+
+    def add_edge(u: int, v: int) -> None:
+        if (u, v) not in edges:
+            edges[(u, v)] = float(rng.uniform(lo_b, hi_b))
+
+    # Random cross-level edges with probability p_c.
+    for li, upper in enumerate(levels[:-1]):
+        for lower in levels[li + 1 :]:
+            for u in upper:
+                for v in lower:
+                    if rng.random() < params.connect_prob:
+                        add_edge(u, v)
+
+    # Guarantee a parent in an earlier level for every non-entry task …
+    for li in range(1, len(levels)):
+        earlier = [u for lvl in levels[:li] for u in lvl]
+        for v in levels[li]:
+            if not any((u, v) in edges for u in earlier):
+                add_edge(int(rng.choice(earlier)), v)
+    # … and a child in a later level for every non-exit task.
+    for li in range(len(levels) - 1):
+        later = [v for lvl in levels[li + 1 :] for v in lvl]
+        for u in levels[li]:
+            if not any((u, v) in edges for v in later):
+                add_edge(u, int(rng.choice(later)))
+
+    # Placement constraints: hardware requirement per task (0 = any).
+    requirements = np.zeros(n, dtype=int)
+    if params.num_hardware_types > 1:
+        constrained = rng.random(n) < params.constraint_prob
+        requirements[constrained] = rng.integers(
+            1, params.num_hardware_types, size=int(constrained.sum())
+        )
+
+    return TaskGraph(
+        compute=tuple(compute),
+        edges=edges,
+        requirements=tuple(int(r) for r in requirements),
+        name=name or f"random-dag-{n}",
+    )
+
+
+def generate_task_graphs(
+    params: TaskGraphParams, count: int, rng: np.random.Generator
+) -> list[TaskGraph]:
+    """Sample ``count`` i.i.d. task graphs."""
+    return [generate_task_graph(params, rng, name=f"random-dag-{i}") for i in range(count)]

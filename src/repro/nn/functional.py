@@ -1,0 +1,106 @@
+"""Stateless neural-network operations.
+
+Includes the graph-specific primitives (segment aggregation, masked
+softmax) that DGL provided in the paper's artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "relu",
+    "tanh",
+    "sigmoid",
+    "softmax",
+    "log_softmax",
+    "masked_log_softmax",
+    "segment_sum",
+    "segment_mean",
+    "gather_rows",
+]
+
+
+def relu(x: Tensor) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def masked_log_softmax(scores: Tensor, mask: np.ndarray) -> Tensor:
+    """Log-softmax over the entries of ``scores`` where ``mask`` is True.
+
+    Masked-out entries get log-probability -inf (represented as a very
+    large negative constant so gradients stay finite).  This is the
+    "optional mask layer" of the GiPH policy network (paper §4.2.3).
+    """
+    scores = as_tensor(scores)
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != scores.shape:
+        raise ValueError(f"mask shape {mask.shape} != scores shape {scores.shape}")
+    if not mask.any():
+        raise ValueError("masked_log_softmax: no feasible action (mask all False)")
+    neg = Tensor(np.where(mask, 0.0, -1e9))
+    return log_softmax(scores + neg, axis=-1)
+
+
+def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` into ``num_segments`` buckets.
+
+    The scatter-add primitive behind GNN message aggregation: row ``i`` of
+    ``values`` is added to output row ``segment_ids[i]``.
+    """
+    values = as_tensor(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1 or len(segment_ids) != values.shape[0]:
+        raise ValueError("segment_ids must be 1-D and match values' first axis")
+    out_shape = (num_segments,) + values.shape[1:]
+    out_data = np.zeros(out_shape, dtype=np.float64)
+    np.add.at(out_data, segment_ids, values.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if values.requires_grad:
+            values._accumulate(grad[segment_ids])
+
+    return Tensor._make(out_data, (values,), backward, "segment_sum")
+
+
+def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Mean-aggregate rows of ``values`` per segment (empty segments -> 0).
+
+    The paper's experiments aggregate messages by mean (§5, experiment
+    details), while Eq. 1 writes a sum; both are exposed.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0)  # avoid div-by-zero for empty segments
+    summed = segment_sum(values, segment_ids, num_segments)
+    return summed / Tensor(counts.reshape((-1,) + (1,) * (summed.ndim - 1)))
+
+
+def gather_rows(values: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``indices`` from ``values`` (differentiable gather)."""
+    return as_tensor(values)[np.asarray(indices, dtype=np.int64)]

@@ -1,0 +1,102 @@
+"""Feed-forward building blocks: Linear, MLP, Sequential.
+
+The paper's networks are small feed-forward stacks (Table 5): two-layer
+pre-embedding FNNs, single-layer message/aggregation FNNs, and a
+10->16->1 policy MLP, all with ReLU activations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Linear", "MLP", "Sequential", "Activation"]
+
+_ACTIVATIONS: dict[str, Callable[[Tensor], Tensor]] = {
+    "relu": lambda x: x.relu(),
+    "tanh": lambda x: x.tanh(),
+    "sigmoid": lambda x: x.sigmoid(),
+    "identity": lambda x: x,
+}
+
+
+class Linear(Module):
+    """Affine map ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        init_scheme: str = "he",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear dimensions must be positive")
+        initializer = init.he_uniform if init_scheme == "he" else init.glorot_uniform
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(initializer(rng, in_features, out_features))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Activation(Module):
+    """Named activation wrapper so it can live in a Sequential."""
+
+    def __init__(self, name: str) -> None:
+        if name not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}")
+        self.name = name
+
+    def forward(self, x: Tensor) -> Tensor:
+        return _ACTIVATIONS[self.name](x)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+
+class MLP(Module):
+    """Multi-layer perceptron with a hidden activation on every layer but the last.
+
+    ``MLP([10, 16, 1])`` is the paper's policy score function g(.).
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+        output_activation: str = "identity",
+    ) -> None:
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dimension")
+        self.dims = tuple(dims)
+        layers: list[Module] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layers.append(Linear(d_in, d_out, rng))
+            is_last = i == len(dims) - 2
+            layers.append(Activation(output_activation if is_last else activation))
+        self.net = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x)

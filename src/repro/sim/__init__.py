@@ -1,0 +1,29 @@
+"""Runtime-simulator substrate (Appendix B.5) plus metrics and objectives."""
+
+from .engine import Simulation
+from .executor import SimResult, simulate
+from .gantt import render_gantt, schedule_summary
+from .latency import CostModel, make_affine_compute_matrix
+from .metrics import cp_min_lower_bound, energy_cost, slr, total_cost
+from .objectives import EnergyObjective, MakespanObjective, Objective, TotalCostObjective
+from .relocation import RelocationCostModel, TaskRelocationProfile
+
+__all__ = [
+    "Simulation",
+    "SimResult",
+    "simulate",
+    "render_gantt",
+    "schedule_summary",
+    "CostModel",
+    "make_affine_compute_matrix",
+    "cp_min_lower_bound",
+    "slr",
+    "total_cost",
+    "energy_cost",
+    "Objective",
+    "MakespanObjective",
+    "TotalCostObjective",
+    "EnergyObjective",
+    "RelocationCostModel",
+    "TaskRelocationProfile",
+]

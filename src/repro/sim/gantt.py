@@ -1,0 +1,58 @@
+"""Text rendering of simulated schedules (Gantt charts).
+
+Turns a :class:`~repro.sim.executor.SimResult` into a per-device ASCII
+timeline — the debugging view for "why is this placement slow": device
+idle gaps, serialization on hot devices, and communication stalls become
+visible at a glance.
+"""
+
+from __future__ import annotations
+
+from ..graphs.task_graph import TaskGraph
+from .executor import SimResult
+
+__all__ = ["render_gantt", "schedule_summary"]
+
+
+def render_gantt(result: SimResult, graph: TaskGraph, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per device, task ids in their slots.
+
+    Each column represents ``makespan / width`` time units; a task's slot
+    is filled with its id (mod 10) and idle time with ``.``.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    makespan = max(result.makespan, 1e-12)
+    num_devices = len(result.device_last_finish)
+    scale = width / makespan
+    t0 = float(result.start.min())
+
+    lines = [f"time 0 {'-' * (width - 12)} {makespan:.2f}"]
+    for d in range(num_devices):
+        row = ["."] * width
+        for task in result.execution_order(d):
+            lo = int((result.start[task] - t0) * scale)
+            hi = max(int((result.finish[task] - t0) * scale), lo + 1)
+            mark = str(task % 10)
+            for c in range(lo, min(hi, width)):
+                row[c] = mark
+        lines.append(f"dev {d:>2d} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def schedule_summary(result: SimResult, graph: TaskGraph) -> str:
+    """Tabular schedule: start/finish/device per task plus utilization."""
+    lines = ["task  device   start    finish  duration"]
+    for i in range(graph.num_tasks):
+        lines.append(
+            f"{i:>4d}  {result.placement[i]:>6d}  {result.start[i]:>7.2f}  "
+            f"{result.finish[i]:>7.2f}  {result.finish[i] - result.start[i]:>8.2f}"
+        )
+    makespan = max(result.makespan, 1e-12)
+    num_devices = len(result.device_last_finish)
+    busy = [0.0] * num_devices
+    for i in range(graph.num_tasks):
+        busy[result.placement[i]] += float(result.finish[i] - result.start[i])
+    util = ", ".join(f"dev{d}: {100 * busy[d] / makespan:.0f}%" for d in range(num_devices))
+    lines.append(f"makespan {result.makespan:.2f}; utilization {util}")
+    return "\n".join(lines)

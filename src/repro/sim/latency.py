@@ -1,0 +1,120 @@
+"""Latency models: expected computation and communication times.
+
+Synthetic model (Appendix B.5, Eqs. 2-3):
+
+    w_{i,k}    = C_i / SP_k
+    c_{ij,kl}  = DL_kl + B_ij / BW_kl
+
+With noise σ the realizations are uniform on ±σ around the expectation.
+The case study swaps in a measured affine model ``w = C_i·T_j + S_j``
+by supplying ``compute_matrix`` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..devices.network import DeviceNetwork
+from ..graphs.task_graph import TaskGraph
+
+__all__ = ["CostModel"]
+
+
+class CostModel:
+    """Expected compute/communication times for one (graph, network) pair.
+
+    Parameters
+    ----------
+    graph, network:
+        The placement problem instance.
+    compute_matrix:
+        Optional (num_tasks, num_devices) matrix of expected compute
+        times ``w_{i,k}``, overriding the default ``C_i / SP_k`` — used
+        by the case study's measured latency model.  Entries for
+        infeasible (task, device) pairs are ignored by callers.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        network: DeviceNetwork,
+        compute_matrix: np.ndarray | None = None,
+    ) -> None:
+        self.graph = graph
+        self.network = network
+        if compute_matrix is None:
+            compute_matrix = np.outer(graph.compute, 1.0 / network.speeds)
+        else:
+            compute_matrix = np.asarray(compute_matrix, dtype=np.float64)
+            expected = (graph.num_tasks, network.num_devices)
+            if compute_matrix.shape != expected:
+                raise ValueError(f"compute_matrix must be {expected}, got {compute_matrix.shape}")
+            if (compute_matrix < 0).any():
+                raise ValueError("compute times must be non-negative")
+        self.W = compute_matrix
+        # 1/BW with exact zeros on the (infinite-bandwidth) diagonal.
+        with np.errstate(divide="ignore"):
+            self._inv_bw = np.where(np.isinf(network.bandwidth), 0.0, 1.0 / network.bandwidth)
+        self.feasible_sets = network.feasible_sets(graph.requirements)
+
+    # -- expectations -----------------------------------------------------------
+
+    def compute_time(self, task: int, device: int) -> float:
+        """Expected execution time w_{i,k} (Eq. 2)."""
+        return float(self.W[task, device])
+
+    def comm_time(self, edge: tuple[int, int], src_dev: int, dst_dev: int) -> float:
+        """Expected transmission time c_{ij,kl} (Eq. 3); 0 if co-located."""
+        if src_dev == dst_dev:
+            return 0.0
+        data = self.graph.edges[edge]
+        return float(self.network.delay[src_dev, dst_dev] + data * self._inv_bw[src_dev, dst_dev])
+
+    def comm_time_matrix(self, edge: tuple[int, int]) -> np.ndarray:
+        """(m, m) matrix of c_{ij,kl} over all device pairs for one edge."""
+        return self.network.delay + self.graph.edges[edge] * self._inv_bw
+
+    def mean_compute_time(self, task: int) -> float:
+        """Average w_{i,k} over the task's feasible devices (HEFT-style)."""
+        return float(self.W[task, list(self.feasible_sets[task])].mean())
+
+    def min_compute_time(self, task: int) -> float:
+        """min_{d_j in D_i} w_{i,j} — the CP_MIN node weight (§5 metrics)."""
+        return float(self.W[task, list(self.feasible_sets[task])].min())
+
+    def mean_comm_time(self, edge: tuple[int, int]) -> float:
+        """Average c_{ij,kl} over distinct device pairs (HEFT rank costs)."""
+        m = self.network.num_devices
+        if m == 1:
+            return 0.0
+        mat = self.comm_time_matrix(edge)
+        off_diag = ~np.eye(m, dtype=bool)
+        return float(mat[off_diag].mean())
+
+    # -- noisy realizations --------------------------------------------------------
+
+    @staticmethod
+    def realize(expected: float, noise: float, rng: np.random.Generator | None) -> float:
+        """Sample a realization uniform on [x(1-σ), x(1+σ)] (Appendix B.5)."""
+        if noise == 0.0 or rng is None or expected == 0.0:
+            return expected
+        if not 0.0 <= noise < 1.0:
+            raise ValueError("noise must be in [0, 1)")
+        return float(expected * rng.uniform(1.0 - noise, 1.0 + noise))
+
+
+def make_affine_compute_matrix(
+    graph: TaskGraph,
+    unit_times: np.ndarray,
+    startup_times: np.ndarray,
+) -> np.ndarray:
+    """Case-study latency model: w_{i,j} = C_i · T_j + S_j (paper §B.4).
+
+    ``unit_times[j]`` is T_j (ms per unit of compute on device j) and
+    ``startup_times[j]`` is S_j.
+    """
+    unit_times = np.asarray(unit_times, dtype=np.float64)
+    startup_times = np.asarray(startup_times, dtype=np.float64)
+    return np.outer(graph.compute, unit_times) + startup_times[None, :]

@@ -1,0 +1,73 @@
+"""Objective functions ρ(M | G, N) for the placement search (paper §3, §6).
+
+GiPH's reward is objective-agnostic: any callable mapping a placement to
+a scalar where *lower is better* plugs into the MDP.  Three objectives
+from the paper are provided: makespan (the main experiments), total
+computation+communication cost (§B.8), and energy (Fig. 11 right).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from .executor import simulate
+from .latency import CostModel
+from .metrics import energy_cost, total_cost
+
+__all__ = ["Objective", "MakespanObjective", "TotalCostObjective", "EnergyObjective"]
+
+
+class Objective(Protocol):
+    """A performance criterion; smaller values are better placements."""
+
+    def evaluate(self, cost_model: CostModel, placement: Sequence[int]) -> float:
+        """Score ``placement`` for the instance bound to ``cost_model``."""
+        ...
+
+
+class MakespanObjective:
+    """Application completion time via the runtime simulator.
+
+    With ``noise`` > 0 each evaluation samples computation/communication
+    realizations (±noise uniform), modeling real-system variability; the
+    rng advances across calls, so repeated evaluations differ, exactly as
+    the paper's noisy experiments do.
+    """
+
+    def __init__(self, noise: float = 0.0, rng: np.random.Generator | None = None) -> None:
+        if noise < 0 or noise >= 1:
+            raise ValueError("noise must be in [0, 1)")
+        if noise > 0 and rng is None:
+            raise ValueError("noisy makespan needs an rng")
+        self.noise = noise
+        self.rng = rng
+
+    def evaluate(self, cost_model: CostModel, placement: Sequence[int]) -> float:
+        result = simulate(
+            cost_model.graph,
+            cost_model.network,
+            placement,
+            cost_model,
+            noise=self.noise,
+            rng=self.rng,
+        )
+        return result.makespan
+
+
+class TotalCostObjective:
+    """Σ compute + Σ communication cost (paper §B.8)."""
+
+    def evaluate(self, cost_model: CostModel, placement: Sequence[int]) -> float:
+        return total_cost(cost_model, placement)
+
+
+class EnergyObjective:
+    """Energy-weighted cost (paper Fig. 11 right)."""
+
+    def __init__(self, comm_power: float = 0.5) -> None:
+        self.comm_power = comm_power
+
+    def evaluate(self, cost_model: CostModel, placement: Sequence[int]) -> float:
+        return energy_cost(cost_model, placement, self.comm_power)

@@ -1,0 +1,38 @@
+"""Shared fixtures for baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlacementProblem
+from repro.devices import Device, DeviceNetwork
+from repro.graphs import TaskGraph
+
+
+@pytest.fixture
+def diamond_problem() -> PlacementProblem:
+    graph = TaskGraph(
+        compute=(2.0, 4.0, 6.0, 2.0),
+        edges={(0, 1): 10.0, (0, 2): 10.0, (1, 3): 20.0, (2, 3): 20.0},
+        requirements=(0, 0, 0, 1),
+    )
+    devices = [
+        Device(uid=0, speed=1.0),
+        Device(uid=1, speed=2.0),
+        Device(uid=2, speed=4.0, supports=frozenset({0, 1})),
+    ]
+    bw = np.full((3, 3), 10.0)
+    np.fill_diagonal(bw, np.inf)
+    dl = np.full((3, 3), 0.5)
+    np.fill_diagonal(dl, 0.0)
+    return PlacementProblem(graph, DeviceNetwork(devices, bw, dl))
+
+
+@pytest.fixture
+def hetero_chain_problem() -> PlacementProblem:
+    """3-task chain where HEFT's choice is analytically checkable."""
+    graph = TaskGraph((4.0, 4.0, 4.0), {(0, 1): 8.0, (1, 2): 8.0})
+    devices = [Device(uid=0, speed=1.0), Device(uid=1, speed=4.0)]
+    bw = np.full((2, 2), 2.0)
+    np.fill_diagonal(bw, np.inf)
+    dl = np.zeros((2, 2))
+    return PlacementProblem(graph, DeviceNetwork(devices, bw, dl))

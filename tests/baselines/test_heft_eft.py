@@ -1,0 +1,102 @@
+"""HEFT and EFT device-selection tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import eft_device, eft_estimates, heft_placement, upward_ranks
+from repro.core import PlacementProblem, random_placement
+from repro.devices import DeviceNetworkParams, generate_device_network
+from repro.graphs import TaskGraphParams, generate_task_graph
+from repro.sim import MakespanObjective, simulate
+
+
+class TestUpwardRanks:
+    def test_parent_outranks_child(self, diamond_problem):
+        ranks = upward_ranks(diamond_problem)
+        g = diamond_problem.graph
+        for (u, v) in g.edges:
+            assert ranks[u] > ranks[v]
+
+    def test_exit_rank_is_mean_compute(self, diamond_problem):
+        ranks = upward_ranks(diamond_problem)
+        cm = diamond_problem.cost_model
+        assert ranks[3] == pytest.approx(cm.mean_compute_time(3))
+
+    def test_chain_rank_accumulates(self, hetero_chain_problem):
+        ranks = upward_ranks(hetero_chain_problem)
+        cm = hetero_chain_problem.cost_model
+        w = cm.mean_compute_time(0)  # same for all tasks here
+        c = cm.mean_comm_time((0, 1))
+        assert ranks[0] == pytest.approx(3 * w + 2 * c)
+
+
+class TestHeft:
+    def test_respects_constraints(self, diamond_problem):
+        schedule = heft_placement(diamond_problem)
+        diamond_problem.validate_placement(schedule.placement)
+
+    def test_priority_order_by_rank(self, diamond_problem):
+        schedule = heft_placement(diamond_problem)
+        ranks = upward_ranks(diamond_problem)
+        sorted_ranks = [ranks[i] for i in schedule.priority_order]
+        assert sorted_ranks == sorted(sorted_ranks, reverse=True)
+
+    def test_internal_schedule_consistent(self, diamond_problem):
+        s = heft_placement(diamond_problem)
+        assert s.makespan == pytest.approx(float(s.finish.max()))
+        assert (s.finish >= s.start).all()
+
+    def test_chain_colocates_when_comm_dominates(self, hetero_chain_problem):
+        # comm between devices costs 4 per edge; fast device is 4x faster.
+        # all-on-fast: 3 tasks * 1 = 3.  Splitting adds >= 4 per cut.
+        schedule = heft_placement(hetero_chain_problem)
+        assert schedule.placement == (1, 1, 1)
+
+    def test_beats_random_on_average(self):
+        rng = np.random.default_rng(0)
+        objective = MakespanObjective()
+        heft_vals, rand_vals = [], []
+        for seed in range(15):
+            r = np.random.default_rng(seed)
+            g = generate_task_graph(TaskGraphParams(num_tasks=15), r)
+            net = generate_device_network(DeviceNetworkParams(num_devices=5), r)
+            problem = PlacementProblem(g, net)
+            heft_vals.append(
+                objective.evaluate(problem.cost_model, heft_placement(problem).placement)
+            )
+            rand_vals.append(
+                objective.evaluate(problem.cost_model, random_placement(problem, rng))
+            )
+        assert np.mean(heft_vals) < np.mean(rand_vals)
+
+
+class TestEft:
+    def test_estimates_cover_feasible_devices(self, diamond_problem):
+        est = eft_estimates(diamond_problem, [0, 0, 0, 2], task=1)
+        assert set(est) == set(diamond_problem.feasible_sets[1])
+
+    def test_estimate_formula_entry_task(self, hetero_chain_problem):
+        # Task 0 has no parents; on an empty fast device EFT = w.
+        est = eft_estimates(hetero_chain_problem, [0, 0, 0], task=0)
+        cm = hetero_chain_problem.cost_model
+        assert est[1] == pytest.approx(cm.compute_time(0, 1))
+
+    def test_own_device_does_not_double_count(self, hetero_chain_problem):
+        # Estimating task 0's EFT on its own (busy) device should see the
+        # device as free at the task's own start, not after the queue.
+        est = eft_estimates(hetero_chain_problem, [0, 0, 0], task=0)
+        cm = hetero_chain_problem.cost_model
+        assert est[0] == pytest.approx(cm.compute_time(0, 0))
+
+    def test_eft_device_picks_minimum(self, diamond_problem):
+        placement = [0, 0, 0, 2]
+        est = eft_estimates(diamond_problem, placement, task=2)
+        assert est[eft_device(diamond_problem, placement, 2)] == min(est.values())
+
+    def test_moving_to_eft_device_improves_or_holds_estimate(self, diamond_problem):
+        rng = np.random.default_rng(1)
+        placement = list(random_placement(diamond_problem, rng))
+        for task in range(diamond_problem.graph.num_tasks):
+            est = eft_estimates(diamond_problem, placement, task)
+            best = eft_device(diamond_problem, placement, task)
+            assert est[best] <= est[placement[task]] + 1e-9

@@ -1,0 +1,223 @@
+"""Case-study tests: measurements, latency fit, traffic, pipelines, trace."""
+
+import numpy as np
+import pytest
+
+from repro.casestudy import (
+    DEVICE_POWER_WATTS,
+    DEVICE_TYPES,
+    REQ_GPU,
+    TABLE1_MEAN_MS,
+    TABLE2_RELOCATION,
+    TASK_KINDS,
+    EdgeDeviceLayout,
+    PipelineConfig,
+    SensorFusionBuilder,
+    TraceConfig,
+    TrafficConfig,
+    TrafficSimulation,
+    extract_trace,
+    fit_latency_model,
+    mbps_to_bytes_per_ms,
+    wireless_bandwidth_mbps,
+)
+from repro.sim import MakespanObjective, simulate
+
+
+def small_traffic(seed=0, vehicles=150, duration=120.0):
+    cfg = TrafficConfig(num_vehicles=vehicles, duration_s=duration, cav_fraction=0.3)
+    return cfg, TrafficSimulation(cfg, np.random.default_rng(seed))
+
+
+class TestMeasurements:
+    def test_table1_complete(self):
+        for kind in TASK_KINDS:
+            for t in DEVICE_TYPES:
+                assert TABLE1_MEAN_MS[kind][t] > 0
+
+    def test_type_c_fastest_everywhere(self):
+        for kind in TASK_KINDS:
+            row = TABLE1_MEAN_MS[kind]
+            assert row["C"] < row["A"] and row["C"] <= row["B"]
+
+    def test_table2_covers_all_kinds(self):
+        assert set(TABLE2_RELOCATION) == set(TASK_KINDS)
+        for profile in TABLE2_RELOCATION.values():
+            assert profile.startup_ms("A") > profile.startup_ms("C")
+
+
+class TestLatencyFit:
+    def test_fit_quality(self):
+        fit = fit_latency_model()
+        assert fit.relative_rms_error() < 0.30
+
+    def test_fit_positive_parameters(self):
+        fit = fit_latency_model()
+        assert all(v > 0 for v in fit.compute.values())
+        assert all(v > 0 for v in fit.unit_time.values())
+        assert all(v >= 0 for v in fit.startup.values())
+
+    def test_type_c_fastest_unit_time(self):
+        fit = fit_latency_model()
+        assert fit.unit_time["C"] < fit.unit_time["A"]
+        assert fit.unit_time["C"] < fit.unit_time["B"]
+
+    def test_prediction_monotone_in_compute(self):
+        fit = fit_latency_model()
+        # rsu_fusion has the largest compute requirement by far.
+        assert fit.compute["rsu_fusion"] > fit.compute["lidar"]
+
+
+class TestComms:
+    def test_bandwidth_decay(self):
+        assert wireless_bandwidth_mbps(0.0) == pytest.approx(60.0)
+        assert wireless_bandwidth_mbps(100.0) == pytest.approx(60.0 / np.e)
+        assert wireless_bandwidth_mbps(100.0) > wireless_bandwidth_mbps(200.0)
+
+    def test_bandwidth_floor(self):
+        assert wireless_bandwidth_mbps(1e7) > 0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            wireless_bandwidth_mbps(-1.0)
+
+    def test_unit_conversion(self):
+        assert mbps_to_bytes_per_ms(8.0) == pytest.approx(1000.0)
+
+
+class TestTraffic:
+    def test_grid_layout(self):
+        cfg, sim = small_traffic()
+        assert len(sim.intersections) == 36
+        assert sim.intersections[0].position == (0.0, 0.0)
+        assert sim.intersections[-1].position == (1000.0, 1000.0)
+
+    def test_snapshot_positions_within_area(self):
+        cfg, sim = small_traffic()
+        snap = sim.snapshot(60.0)
+        for v in snap.vehicles:
+            assert -1e-6 <= v.position[0] <= 1000.0 + 1e-6
+            assert -1e-6 <= v.position[1] <= 1000.0 + 1e-6
+
+    def test_cav_fraction_approximate(self):
+        cfg, sim = small_traffic(vehicles=2000, duration=600.0)
+        frac = np.mean([sim._is_cav])
+        assert 0.2 < frac < 0.4
+
+    def test_vehicles_move_between_snapshots(self):
+        cfg, sim = small_traffic()
+        s1, s2 = sim.snapshot(50.0), sim.snapshot(60.0)
+        p1 = {v.vid: v.position for v in s1.vehicles}
+        p2 = {v.vid: v.position for v in s2.vehicles}
+        common = set(p1) & set(p2)
+        assert common
+        assert any(p1[v] != p2[v] for v in common)
+
+    def test_cavs_near_radius(self):
+        cfg, sim = small_traffic()
+        snap = sim.snapshot(60.0)
+        inter = sim.intersections[0]
+        for v in snap.cavs_near(inter, 400.0):
+            d = np.hypot(v.position[0] - inter.position[0], v.position[1] - inter.position[1])
+            assert d <= 400.0
+
+    def test_snapshots_cadence(self):
+        cfg = TrafficConfig(num_vehicles=10, duration_s=50.0, snapshot_interval_s=10.0)
+        sim = TrafficSimulation(cfg, np.random.default_rng(1))
+        assert len(sim.snapshots()) == 5
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(cav_fraction=1.5)
+        with pytest.raises(ValueError):
+            TrafficConfig(grid_rows=0)
+
+
+class TestPipeline:
+    def make_scenario(self, seed=0):
+        cfg, sim = small_traffic(seed=seed)
+        fit = fit_latency_model()
+        layout = EdgeDeviceLayout.random(PipelineConfig(), (1000.0, 1000.0), np.random.default_rng(seed))
+        builder = SensorFusionBuilder(fit, PipelineConfig(), layout)
+        for snap in sim.snapshots():
+            for inter in sim.intersections:
+                scenario = builder.build_scenario(snap, inter)
+                if scenario is not None:
+                    return scenario
+        pytest.skip("no interacting CAV in the mini trace")
+
+    def test_scenario_structure(self):
+        s = self.make_scenario()
+        graph = s.problem.graph
+        # One RSU fusion + per-CIS (sensor, camera) + per-CAV 6 tasks.
+        expected = 1 + 4 * 2 + s.num_cavs * 6
+        assert graph.num_tasks == expected
+        assert s.task_kinds.count("rsu_fusion") == 1
+        assert s.task_kinds.count("cav_fusion") == s.num_cavs
+
+    def test_pinned_tasks_single_feasible_device(self):
+        s = self.make_scenario()
+        for i, kind in enumerate(s.task_kinds):
+            if kind in ("sensor", "actuation"):
+                assert len(s.problem.feasible_sets[i]) == 1
+
+    def test_gpu_tasks_not_on_cis(self):
+        s = self.make_scenario()
+        net = s.problem.network
+        cis_indices = {
+            net.index_of(uid) for uid, t in s.device_types.items() if t == "CIS"
+        }
+        for i, kind in enumerate(s.task_kinds):
+            if kind in ("camera", "lidar"):
+                assert not (set(s.problem.feasible_sets[i]) & cis_indices)
+
+    def test_compute_matrix_matches_fit(self):
+        s = self.make_scenario()
+        fit = fit_latency_model()
+        net = s.problem.network
+        w = s.problem.cost_model.W
+        for i, kind in enumerate(s.task_kinds):
+            if kind in ("sensor", "actuation"):
+                continue
+            for j in s.problem.feasible_sets[i]:
+                dtype = s.device_types[net.devices[j].uid]
+                assert w[i, j] == pytest.approx(fit.predicted_ms(kind, dtype))
+
+    def test_scenario_simulates(self):
+        s = self.make_scenario()
+        from repro.core import random_placement
+
+        placement = random_placement(s.problem, np.random.default_rng(5))
+        res = simulate(s.problem.graph, s.problem.network, placement, s.problem.cost_model)
+        assert res.makespan > 0
+
+    def test_device_power_assigned(self):
+        s = self.make_scenario()
+        for d in s.problem.network.devices:
+            dtype = s.device_types[d.uid]
+            if dtype != "CIS":
+                assert d.compute_power == DEVICE_POWER_WATTS[dtype]
+
+
+class TestTrace:
+    def test_extract_produces_cases(self):
+        cfg = TraceConfig(
+            traffic=TrafficConfig(num_vehicles=300, duration_s=100.0, cav_fraction=0.3),
+            max_cases=10,
+        )
+        scenarios = extract_trace(cfg, np.random.default_rng(2))
+        assert 0 < len(scenarios) <= 10
+        for s in scenarios:
+            assert s.num_cavs >= 1
+            s.problem.validate_placement(
+                [fs[0] for fs in s.problem.feasible_sets]
+            )
+
+    def test_cav_cap_respected(self):
+        cfg = TraceConfig(
+            traffic=TrafficConfig(num_vehicles=800, duration_s=60.0, cav_fraction=0.5),
+            max_cases=20,
+            max_cavs_per_case=3,
+        )
+        scenarios = extract_trace(cfg, np.random.default_rng(3))
+        assert all(s.num_cavs <= 3 for s in scenarios)

@@ -1,0 +1,39 @@
+"""Shared fixtures: small placement problems used across core tests."""
+
+import numpy as np
+import pytest
+
+from repro.devices import Device, DeviceNetwork
+from repro.graphs import TaskGraph
+from repro.core import PlacementProblem
+
+
+@pytest.fixture
+def diamond_problem() -> PlacementProblem:
+    """4-task diamond on 3 devices; task 3 is constrained to device 2."""
+    graph = TaskGraph(
+        compute=(2.0, 4.0, 6.0, 2.0),
+        edges={(0, 1): 10.0, (0, 2): 10.0, (1, 3): 20.0, (2, 3): 20.0},
+        requirements=(0, 0, 0, 1),
+    )
+    devices = [
+        Device(uid=0, speed=1.0),
+        Device(uid=1, speed=2.0),
+        Device(uid=2, speed=4.0, supports=frozenset({0, 1})),
+    ]
+    bw = np.full((3, 3), 10.0)
+    np.fill_diagonal(bw, np.inf)
+    dl = np.full((3, 3), 0.5)
+    np.fill_diagonal(dl, 0.0)
+    return PlacementProblem(graph, DeviceNetwork(devices, bw, dl))
+
+
+@pytest.fixture
+def chain_problem() -> PlacementProblem:
+    """2-task chain on 2 devices — the paper's Fig. 2 MDP example scale."""
+    graph = TaskGraph((2.0, 2.0), {(0, 1): 10.0})
+    devices = [Device(uid=0, speed=1.0), Device(uid=1, speed=1.0)]
+    bw = np.full((2, 2), 5.0)
+    np.fill_diagonal(bw, np.inf)
+    dl = np.zeros((2, 2))
+    return PlacementProblem(graph, DeviceNetwork(devices, bw, dl))

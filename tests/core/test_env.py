@@ -1,0 +1,132 @@
+"""MDP environment tests (paper §4.1, §4.2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlacementEnv, PlacementProblem, default_episode_length
+from repro.sim import MakespanObjective, TotalCostObjective
+
+
+def make_env(problem, **kwargs):
+    return PlacementEnv(problem, MakespanObjective(), **kwargs)
+
+
+class TestSpaces:
+    def test_state_and_action_space_sizes(self, diamond_problem):
+        # |A| = sum |D_i| = 10; |S| = prod |D_i| = 27.
+        assert diamond_problem.num_actions == 10
+        assert diamond_problem.state_space_size() == 27.0
+
+    def test_default_episode_length(self, diamond_problem):
+        assert default_episode_length(diamond_problem) == 8
+
+
+class TestReset:
+    def test_reset_with_placement(self, diamond_problem):
+        env = make_env(diamond_problem)
+        state = env.reset(initial_placement=[0, 1, 2, 2])
+        assert state.placement == (0, 1, 2, 2)
+        assert state.step == 0 and state.last_moved_task is None
+
+    def test_reset_random(self, diamond_problem):
+        env = make_env(diamond_problem)
+        state = env.reset(rng=np.random.default_rng(0))
+        diamond_problem.validate_placement(state.placement)
+
+    def test_reset_requires_source(self, diamond_problem):
+        with pytest.raises(ValueError):
+            make_env(diamond_problem).reset()
+
+    def test_state_before_reset_raises(self, diamond_problem):
+        with pytest.raises(RuntimeError):
+            _ = make_env(diamond_problem).state
+
+    def test_objective_value_matches_simulator(self, diamond_problem):
+        env = make_env(diamond_problem)
+        state = env.reset(initial_placement=[0, 0, 0, 2])
+        expected = MakespanObjective().evaluate(diamond_problem.cost_model, [0, 0, 0, 2])
+        assert state.objective_value == pytest.approx(expected)
+
+
+class TestStep:
+    def test_step_applies_relocation(self, diamond_problem):
+        env = make_env(diamond_problem)
+        state = env.reset(initial_placement=[0, 0, 0, 2])
+        node = state.gpnet.node_index(1, 2)
+        next_state, reward, done = env.step(node)
+        assert next_state.placement == (0, 2, 0, 2)
+        assert next_state.last_moved_task == 1
+        assert not done
+
+    def test_reward_is_objective_improvement(self, diamond_problem):
+        env = make_env(diamond_problem)
+        state = env.reset(initial_placement=[0, 0, 0, 2])
+        node = state.gpnet.node_index(2, 1)
+        before = state.objective_value
+        next_state, reward, _ = env.step(node)
+        assert reward == pytest.approx(before - next_state.objective_value)
+
+    def test_episode_terminates(self, diamond_problem):
+        env = make_env(diamond_problem, episode_length=3)
+        state = env.reset(initial_placement=[0, 0, 0, 2])
+        for step in range(3):
+            mask = env.action_mask()
+            node = int(np.flatnonzero(mask)[0])
+            state, _, done = env.step(node)
+        assert done and state.step == 3
+
+    def test_invalid_action_rejected(self, diamond_problem):
+        env = make_env(diamond_problem)
+        env.reset(initial_placement=[0, 0, 0, 2])
+        with pytest.raises(ValueError):
+            env.step(10_000)
+
+    def test_alternative_objective(self, diamond_problem):
+        env = PlacementEnv(diamond_problem, TotalCostObjective())
+        state = env.reset(initial_placement=[2, 2, 2, 2])
+        # co-located on fastest device: cost = sum(w) with zero comm
+        assert state.objective_value == pytest.approx(sum(diamond_problem.cost_model.W[:, 2]))
+
+
+class TestMasks:
+    def test_pivots_masked(self, diamond_problem):
+        env = make_env(diamond_problem)
+        state = env.reset(initial_placement=[0, 0, 0, 2])
+        mask = env.action_mask()
+        assert not mask[state.gpnet.is_pivot].any()
+
+    def test_last_task_masked(self, diamond_problem):
+        env = make_env(diamond_problem)
+        state = env.reset(initial_placement=[0, 0, 0, 2])
+        node = state.gpnet.node_index(1, 2)
+        state, _, _ = env.step(node)
+        mask = env.action_mask()
+        assert not mask[state.gpnet.task_of == 1].any()
+
+    def test_masks_can_be_disabled(self, diamond_problem):
+        env = PlacementEnv(
+            diamond_problem, MakespanObjective(), mask_no_ops=False, mask_repeat_task=False
+        )
+        state = env.reset(initial_placement=[0, 0, 0, 2])
+        assert env.action_mask().all()
+
+    def test_degenerate_instance_still_has_action(self, chain_problem):
+        # 2 tasks x 2 devices; after moving task 0, both its options are
+        # masked (repeat) and pivots are masked -> task 1's non-pivot
+        # option must remain.
+        env = make_env(chain_problem)
+        state = env.reset(initial_placement=[0, 0])
+        state, _, _ = env.step(state.gpnet.node_index(0, 1))
+        mask = env.action_mask()
+        assert mask.sum() == 1
+        task, dev = state.gpnet.action_of(int(np.flatnonzero(mask)[0]))
+        assert task == 1 and dev == 1
+
+    def test_fig2_action_space(self, chain_problem):
+        # Fig. 2: 2-task graph, both devices feasible -> 4 actions.
+        env = make_env(chain_problem)
+        state = env.reset(initial_placement=[0, 0])
+        assert state.num_actions == 4
+        assert state.gpnet.is_pivot.sum() == 2
+        # The two no-op actions (a0, a1 at M0 in the paper) are masked.
+        assert env.action_mask().sum() == 2

@@ -1,0 +1,168 @@
+"""gpNet construction tests against the paper's Algorithm (App. B.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FeatureConfig, GpNetBuilder, PlacementProblem, random_placement
+from repro.devices import DeviceNetworkParams, generate_device_network
+from repro.graphs import TaskGraphParams, generate_task_graph
+
+
+def build(problem, placement, **cfg):
+    return GpNetBuilder(problem, FeatureConfig(**cfg)).build(placement)
+
+
+class TestSizes:
+    def test_node_count_formula(self, diamond_problem):
+        # |V_H| = sum_i |D_i| = 3+3+3+1
+        net = build(diamond_problem, [0, 0, 0, 2])
+        assert net.num_nodes == 10
+
+    def test_edge_count_formula(self, diamond_problem):
+        # |E_H| = sum_i |D_i|*|E_i| - |E|
+        g = diamond_problem.graph
+        sizes = [len(s) for s in diamond_problem.feasible_sets]
+        expected = sum(sizes[i] * g.degree(i) for i in range(g.num_tasks)) - g.num_edges
+        net = build(diamond_problem, [0, 0, 0, 2])
+        assert net.num_edges == expected
+
+    def test_one_pivot_per_task(self, diamond_problem):
+        net = build(diamond_problem, [1, 0, 2, 2])
+        assert net.is_pivot.sum() == 4
+        for i, opts in enumerate(net.options):
+            pivots = opts[net.is_pivot[opts]]
+            assert len(pivots) == 1
+            assert net.device_of[pivots[0]] == [1, 0, 2, 2][i]
+
+
+class TestStructure:
+    def test_every_edge_touches_a_pivot(self, diamond_problem):
+        net = build(diamond_problem, [0, 1, 2, 2])
+        for s, d in zip(net.edge_src, net.edge_dst):
+            assert net.is_pivot[s] or net.is_pivot[d]
+
+    def test_edges_follow_task_graph(self, diamond_problem):
+        net = build(diamond_problem, [0, 1, 2, 2])
+        g = diamond_problem.graph
+        for s, d in zip(net.edge_src, net.edge_dst):
+            assert (int(net.task_of[s]), int(net.task_of[d])) in g.edges
+
+    def test_no_duplicate_edges(self, diamond_problem):
+        net = build(diamond_problem, [0, 1, 2, 2])
+        pairs = list(zip(net.edge_src.tolist(), net.edge_dst.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    def test_nonpivot_connects_only_to_pivots(self, diamond_problem):
+        net = build(diamond_problem, [0, 1, 2, 2])
+        for s, d in zip(net.edge_src, net.edge_dst):
+            if not net.is_pivot[s]:
+                assert net.is_pivot[d]
+            if not net.is_pivot[d]:
+                assert net.is_pivot[s]
+
+    def test_node_index_roundtrip(self, diamond_problem):
+        net = build(diamond_problem, [0, 0, 0, 2])
+        for u in range(net.num_nodes):
+            task, dev = net.action_of(u)
+            assert net.node_index(task, dev) == u
+
+    def test_node_index_infeasible(self, diamond_problem):
+        net = build(diamond_problem, [0, 0, 0, 2])
+        with pytest.raises(KeyError):
+            net.node_index(3, 0)  # task 3 only feasible on device 2
+
+    def test_infeasible_placement_rejected(self, diamond_problem):
+        with pytest.raises(ValueError, match="infeasible"):
+            build(diamond_problem, [0, 0, 0, 0])
+
+    def test_constrained_task_has_single_option(self, diamond_problem):
+        net = build(diamond_problem, [0, 0, 0, 2])
+        assert len(net.options[3]) == 1
+
+
+class TestFeatures:
+    def test_feature_shapes(self, diamond_problem):
+        net = build(diamond_problem, [0, 0, 0, 2], normalize=False)
+        assert net.node_features.shape == (net.num_nodes, 4)
+        assert net.edge_features.shape == (net.num_edges, 4)
+
+    def test_node_features_unnormalized_values(self, diamond_problem):
+        net = build(diamond_problem, [0, 0, 0, 2], normalize=False)
+        g, cm = diamond_problem.graph, diamond_problem.cost_model
+        u = net.node_index(1, 2)  # task 1 on device 2
+        c, sp, w, pot = net.node_features[u]
+        assert c == g.compute[1]
+        assert sp == diamond_problem.network.devices[2].speed
+        assert w == cm.compute_time(1, 2)
+
+    def test_pivot_potential_nonpositive(self, diamond_problem):
+        # A pivot's earliest possible start can never exceed its actual
+        # start (queueing only delays), so potential <= 0.
+        net = build(diamond_problem, [0, 1, 2, 2], normalize=False)
+        for u in np.flatnonzero(net.is_pivot):
+            assert net.node_features[u, 3] <= 1e-9
+
+    def test_entry_pivot_potential_zero(self, diamond_problem):
+        net = build(diamond_problem, [0, 1, 2, 2], normalize=False)
+        entry_pivot = [u for u in np.flatnonzero(net.is_pivot) if net.task_of[u] == 0][0]
+        assert net.node_features[entry_pivot, 3] == pytest.approx(0.0)
+
+    def test_ablated_potential_is_zero_column(self, diamond_problem):
+        net = build(diamond_problem, [0, 0, 0, 2], use_start_time_potential=False, normalize=False)
+        np.testing.assert_allclose(net.node_features[:, 3], 0.0)
+        assert net.node_features.shape[1] == 4
+
+    def test_normalization_unit_mean_magnitude(self, diamond_problem):
+        net = build(diamond_problem, [0, 1, 2, 2], normalize=True)
+        mags = np.abs(net.node_features).mean(axis=0)
+        for col, mag in enumerate(mags):
+            if mag > 0:
+                assert mag == pytest.approx(1.0), f"column {col}"
+
+    def test_edge_features_unnormalized_values(self, diamond_problem):
+        net = build(diamond_problem, [0, 1, 2, 2], normalize=False)
+        g, nw, cm = diamond_problem.graph, diamond_problem.network, diamond_problem.cost_model
+        # find edge from pivot of 0 (dev 0) to option (1, dev 2)
+        src = net.node_index(0, 0)
+        dst = net.node_index(1, 2)
+        k = [i for i in range(net.num_edges) if net.edge_src[i] == src and net.edge_dst[i] == dst]
+        assert len(k) == 1
+        b, inv_bw, dl, c = net.edge_features[k[0]]
+        assert b == g.edges[(0, 1)]
+        assert inv_bw == pytest.approx(1.0 / nw.bandwidth[0, 2])
+        assert dl == nw.delay[0, 2]
+        assert c == pytest.approx(cm.comm_time((0, 1), 0, 2))
+
+    def test_local_edge_inverse_bandwidth_zero(self, diamond_problem):
+        net = build(diamond_problem, [2, 2, 2, 2], normalize=False)
+        src, dst = net.node_index(0, 2), net.node_index(1, 2)
+        k = [i for i in range(net.num_edges) if net.edge_src[i] == src and net.edge_dst[i] == dst][0]
+        assert net.edge_features[k, 1] == 0.0
+        assert net.edge_features[k, 3] == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    num_tasks=st.integers(min_value=2, max_value=15),
+    num_devices=st.integers(min_value=2, max_value=6),
+)
+def test_gpnet_size_formulas_hold_generally(seed, num_tasks, num_devices):
+    """Property: |V_H| and |E_H| match §4.2.1's closed forms on random
+    instances with placement constraints."""
+    rng = np.random.default_rng(seed)
+    g = generate_task_graph(TaskGraphParams(num_tasks=num_tasks, constraint_prob=0.4), rng)
+    nw = generate_device_network(DeviceNetworkParams(num_devices=num_devices), rng)
+    problem = PlacementProblem(g, nw)
+    placement = random_placement(problem, rng)
+    net = GpNetBuilder(problem).build(placement)
+
+    sizes = [len(s) for s in problem.feasible_sets]
+    assert net.num_nodes == sum(sizes)
+    expected_edges = sum(sizes[i] * g.degree(i) for i in range(num_tasks)) - g.num_edges
+    assert net.num_edges == expected_edges
+    assert net.is_pivot.sum() == num_tasks
+    for s, d in zip(net.edge_src, net.edge_dst):
+        assert net.is_pivot[s] or net.is_pivot[d]

@@ -1,0 +1,163 @@
+"""REINFORCE trainer and search-loop tests (paper §4.1, App. B.7)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GiPHAgent,
+    PlacementProblem,
+    ReinforceConfig,
+    ReinforceTrainer,
+    average_reward_baseline,
+    discounted_returns,
+    greedy_fastest_device_placement,
+    random_placement,
+    run_search,
+)
+from repro.sim import MakespanObjective
+
+
+class TestReturnsMath:
+    def test_discounted_returns(self):
+        np.testing.assert_allclose(
+            discounted_returns([1.0, 2.0, 3.0], gamma=0.5),
+            [1 + 0.5 * 2 + 0.25 * 3, 2 + 0.5 * 3, 3.0],
+        )
+
+    def test_gamma_one_is_suffix_sum(self):
+        np.testing.assert_allclose(discounted_returns([1.0, 1.0, 1.0], 1.0), [3, 2, 1])
+
+    def test_gamma_zero_is_immediate(self):
+        np.testing.assert_allclose(discounted_returns([1.0, 2.0, 3.0], 0.0), [1, 2, 3])
+
+    def test_average_reward_baseline(self):
+        # b_t = mean of rewards before t; b_0 = 0 (paper B.7).
+        np.testing.assert_allclose(
+            average_reward_baseline([2.0, 4.0, 6.0]), [0.0, 2.0, 3.0]
+        )
+
+    def test_baseline_single_step(self):
+        np.testing.assert_allclose(average_reward_baseline([5.0]), [0.0])
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs", [{"gamma": 1.5}, {"episodes": 0}, {"grad_clip": 0.0}]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ReinforceConfig(**kwargs)
+
+
+class TestTraining:
+    def test_episode_updates_parameters(self, diamond_problem):
+        rng = np.random.default_rng(0)
+        agent = GiPHAgent(rng, embedding="giph")
+        trainer = ReinforceTrainer(agent, MakespanObjective(), ReinforceConfig(episode_length=4))
+        before = {k: v.copy() for k, v in agent.state_dict().items()}
+        stats = trainer.run_episode(diamond_problem, rng)
+        after = agent.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+        assert np.isfinite(stats.grad_norm)
+        assert stats.best_value <= stats.initial_value + 1e-9
+
+    def test_train_samples_problems(self, diamond_problem, chain_problem):
+        rng = np.random.default_rng(1)
+        agent = GiPHAgent(rng, embedding="giph-ne-pol")
+        trainer = ReinforceTrainer(agent, MakespanObjective(), ReinforceConfig(episode_length=3))
+        stats = trainer.train([diamond_problem, chain_problem], rng, episodes=6)
+        assert len(stats) == 6
+        assert len(trainer.history) == 6
+
+    def test_train_empty_problems_raises(self):
+        rng = np.random.default_rng(0)
+        agent = GiPHAgent(rng, embedding="giph-ne-pol")
+        trainer = ReinforceTrainer(agent, MakespanObjective())
+        with pytest.raises(ValueError):
+            trainer.train([], rng)
+
+    def test_learning_improves_policy_on_tiny_instance(self, chain_problem):
+        """End-to-end sanity: on the 2-task/2-device instance the trained
+        policy should find the co-location optimum more reliably than at
+        init.  (Small scale keeps pure-NumPy runtime in check.)"""
+        rng = np.random.default_rng(7)
+        agent = GiPHAgent(rng, embedding="giph")
+        objective = MakespanObjective()
+        trainer = ReinforceTrainer(
+            agent, objective, ReinforceConfig(episode_length=4, learning_rate=0.02)
+        )
+        trainer.train([chain_problem], rng, episodes=30)
+        first5 = np.mean([s.best_value for s in trainer.history[:5]])
+        last5 = np.mean([s.best_value for s in trainer.history[-5:]])
+        assert last5 <= first5 + 1e-9
+
+
+class TestSearch:
+    def test_best_over_time_non_increasing(self, diamond_problem):
+        rng = np.random.default_rng(3)
+        agent = GiPHAgent(rng, embedding="giph")
+        trace = run_search(
+            agent,
+            diamond_problem,
+            MakespanObjective(),
+            initial_placement=random_placement(diamond_problem, rng),
+        )
+        diffs = np.diff(trace.best_over_time)
+        assert (diffs <= 1e-12).all()
+        assert trace.best_value == trace.best_over_time[-1]
+
+    def test_trace_lengths(self, diamond_problem):
+        rng = np.random.default_rng(4)
+        agent = GiPHAgent(rng, embedding="giph-ne-pol")
+        trace = run_search(
+            agent, diamond_problem, MakespanObjective(), [0, 0, 0, 2], episode_length=5
+        )
+        assert trace.num_steps == 5
+        assert len(trace.best_over_time) == 6
+        assert len(trace.values) == 6
+
+    def test_best_placement_feasible_and_matches_value(self, diamond_problem):
+        rng = np.random.default_rng(5)
+        agent = GiPHAgent(rng, embedding="giph")
+        trace = run_search(agent, diamond_problem, MakespanObjective(), [0, 0, 0, 2])
+        diamond_problem.validate_placement(trace.best_placement)
+        assert MakespanObjective().evaluate(
+            diamond_problem.cost_model, trace.best_placement
+        ) == pytest.approx(trace.best_value)
+
+    def test_relocation_counts_bounded_by_steps(self, diamond_problem):
+        rng = np.random.default_rng(6)
+        agent = GiPHAgent(rng, embedding="giph")
+        trace = run_search(agent, diamond_problem, MakespanObjective(), [0, 0, 0, 2])
+        assert sum(trace.relocation_counts) <= trace.num_steps
+
+    def test_greedy_search_deterministic(self, diamond_problem):
+        rng = np.random.default_rng(8)
+        agent = GiPHAgent(rng, embedding="giph")
+        t1 = run_search(agent, diamond_problem, MakespanObjective(), [0, 0, 0, 2], greedy=True)
+        t2 = run_search(agent, diamond_problem, MakespanObjective(), [0, 0, 0, 2], greedy=True)
+        assert t1.best_placement == t2.best_placement
+
+
+class TestAgentStateDict:
+    def test_roundtrip(self, diamond_problem):
+        rng = np.random.default_rng(9)
+        a1 = GiPHAgent(rng, embedding="giph")
+        a2 = GiPHAgent(np.random.default_rng(10), embedding="giph")
+        a2.load_state_dict(a1.state_dict())
+        from repro.core import GpNetBuilder
+
+        net = GpNetBuilder(diamond_problem).build([0, 0, 0, 2])
+        np.testing.assert_allclose(a1.embedding(net).data, a2.embedding(net).data)
+
+
+class TestInitializers:
+    def test_greedy_fastest_device(self, diamond_problem):
+        placement = greedy_fastest_device_placement(diamond_problem)
+        # device 2 is fastest and feasible for everything
+        assert placement == (2, 2, 2, 2)
+
+    def test_random_placement_feasible(self, diamond_problem):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            diamond_problem.validate_placement(random_placement(diamond_problem, rng))

@@ -1,0 +1,44 @@
+"""Micro scale preset: the smallest configuration that exercises every
+experiment code path, for fast unit testing of the harness itself."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import QUICK
+
+
+@pytest.fixture(scope="session")
+def micro_scale():
+    return dataclasses.replace(
+        QUICK,
+        name="micro",
+        num_tasks=5,
+        num_devices=3,
+        train_graphs=2,
+        test_cases=2,
+        episodes=2,
+        num_networks=2,
+        dl_designs=1,
+        dl_variants=1,
+        dl_group_target=8,
+        dl_devices=3,
+        dl_episodes=2,
+        dl_test_cases=1,
+        adapt_devices=6,
+        adapt_min_devices=5,
+        adapt_changes=2,
+        adapt_graphs=2,
+        case_vehicles=250,
+        case_duration_s=80.0,
+        case_cav_fraction=0.4,
+        case_train=2,
+        case_test=2,
+        case_episodes=2,
+        convergence_episodes=4,
+        convergence_eval_every=2,
+        convergence_eval_cases=1,
+        pairwise_cases=3,
+        timing_graph_sizes=(5,),
+        timing_repeats=1,
+    )

@@ -1,0 +1,110 @@
+"""Micro-scale smoke tests: every experiment module produces a valid report.
+
+These run the identical code paths the benchmarks execute, at the
+smallest possible scale, so harness regressions surface in the unit
+suite rather than the (slow) benchmark suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablation,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig9,
+    fig11,
+    fig14,
+    fig15,
+    fig16,
+    table1,
+    table6,
+    table7,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestCheapModules:
+    def test_table1(self, micro_scale):
+        report = table1.run(micro_scale)
+        assert report.experiment_id == "table1"
+        assert report.data["fit_rms"] < 0.3
+        assert "Table 2" in report.text
+
+    def test_table7(self, micro_scale):
+        report = table7.run(micro_scale)
+        assert set(report.data["table7"]) == set(table7.VARIANTS) | {"placeto"}
+        for t in report.data["table7"].values():
+            assert t["infer"] > 0 and t["train"] > 0
+
+    def test_fig16(self, micro_scale):
+        report = fig16.run(micro_scale)
+        assert set(report.data["overall"]) == {"giph", "random", "heft"}
+
+    def test_fig15(self, micro_scale):
+        report = fig15.run(micro_scale)
+        assert set(report.data["curves"]) == {"giph", "giph-3", "giph-5", "giph-ne-pol"}
+        for curve in report.data["curves"].values():
+            assert len(curve) == 2  # 4 episodes / eval every 2
+
+    def test_ablation(self, micro_scale):
+        report = ablation.run(micro_scale)
+        assert len(report.data["mean_final"]) == 3
+        assert all(v >= 0.99 for v in report.data["mean_final"].values())
+
+
+class TestSyntheticModules:
+    def test_fig5(self, micro_scale):
+        report = fig5.run(micro_scale)
+        assert report.data["depths"]
+        assert "heft" in report.data["overall"]
+
+    def test_fig6(self, micro_scale):
+        report = fig6.run(micro_scale)
+        series = report.data["slr_by_change"]
+        assert len(series["giph"]) == micro_scale.adapt_changes
+        assert set(series) == {"giph", "giph-task-eft", "placeto", "random", "rnn-placer", "heft"}
+
+    def test_fig7(self, micro_scale):
+        report = fig7.run(micro_scale)
+        for curve in report.data["curves"].values():
+            assert (np.diff(curve) <= 1e-9).all()
+
+    def test_table6(self, micro_scale):
+        report = table6.run(micro_scale)
+        n_methods = len(table6.METHODS)
+        assert len(report.data["matrix"]) == n_methods * (n_methods - 1)
+
+    def test_fig14_single_setting(self, micro_scale):
+        import dataclasses
+
+        # Full fig14 runs 3 settings; the convergence_curve building block
+        # is exercised directly for speed.
+        from repro.experiments.datasets import single_network_dataset
+
+        ds = single_network_dataset(micro_scale, np.random.default_rng(0))
+        curve = fig14.convergence_curve("giph-ne-pol", ds, micro_scale, np.random.default_rng(1))
+        assert len(curve) == 2
+
+
+class TestCaseStudyModules:
+    def test_fig9(self, micro_scale):
+        report = fig9.run(micro_scale)
+        assert report.data["num_test"] >= 1
+        assert all(v >= 0.99 for v in report.data["final_mean"].values())
+
+    def test_fig11(self, micro_scale):
+        report = fig11.run(micro_scale)
+        assert report.data["energy"]["giph"] <= report.data["energy"]["random"] + 1e-9
+        assert all(v >= 0 for v in report.data["relocation_cost_by_frequency"].values())
+
+
+class TestFig4:
+    def test_fig4_micro(self, micro_scale):
+        report = fig4.run(micro_scale)
+        assert len(report.data) == 4
+        for payload in report.data.values():
+            assert set(payload["curves"]) >= {"giph", "random", "placeto"}

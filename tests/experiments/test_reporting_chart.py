@@ -1,0 +1,61 @@
+"""ASCII chart renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import ascii_chart, format_series
+
+
+class TestAsciiChart:
+    def test_basic_structure(self):
+        chart = ascii_chart({"a": [3.0, 2.0, 1.0]}, width=20, height=6)
+        lines = chart.splitlines()
+        assert len(lines) == 6 + 2  # rows + x-axis + legend
+        assert "a" in lines[-1]  # legend
+        assert "└" in lines[-2]
+
+    def test_y_axis_labels_reflect_range(self):
+        chart = ascii_chart({"a": [10.0, 20.0]}, width=20, height=6)
+        assert "20.000" in chart.splitlines()[0]
+        assert "10.000" in chart.splitlines()[-3]
+
+    def test_markers_differ_between_series(self):
+        chart = ascii_chart({"a": [1.0, 1.0], "b": [2.0, 2.0]}, width=20, height=6)
+        assert "*" in chart and "o" in chart
+
+    def test_decreasing_series_slopes_down(self):
+        chart = ascii_chart({"a": [3.0, 2.0, 1.0]}, width=30, height=9)
+        lines = chart.splitlines()[:9]
+        first_row_cols = [l.find("*") for l in lines if "*" in l]
+        # Marker column increases as we go down the grid (later = lower value).
+        assert first_row_cols == sorted(first_row_cols)
+
+    def test_constant_series_handled(self):
+        chart = ascii_chart({"a": [5.0, 5.0, 5.0]}, width=20, height=6)
+        assert "*" in chart
+
+    def test_non_finite_values_skipped(self):
+        chart = ascii_chart({"a": [1.0, float("nan"), 3.0]}, width=20, height=6)
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart({}, width=20, height=6)
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1.0]}, width=5, height=6)
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [float("nan")]}, width=20, height=6)
+
+
+class TestFormatSeriesChart:
+    def test_chart_appended(self):
+        text = format_series({"a": [3.0, 2.0, 1.0]})
+        assert "└" in text and "> step" in text
+
+    def test_chart_suppressed(self):
+        text = format_series({"a": [3.0, 2.0, 1.0]}, chart=False)
+        assert "└" not in text
+
+    def test_single_point_no_chart(self):
+        text = format_series({"a": [3.0]})
+        assert "└" not in text

@@ -1,0 +1,70 @@
+"""Gantt-chart / schedule-summary rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.devices import Device, DeviceNetwork
+from repro.graphs import TaskGraph
+from repro.sim import render_gantt, schedule_summary, simulate
+
+
+def run_chain():
+    g = TaskGraph((2.0, 4.0), {(0, 1): 10.0})
+    devices = [Device(uid=0, speed=1.0), Device(uid=1, speed=2.0)]
+    bw = np.full((2, 2), 10.0)
+    np.fill_diagonal(bw, np.inf)
+    dl = np.ones((2, 2)) - np.eye(2)
+    net = DeviceNetwork(devices, bw, dl)
+    return g, net, simulate(g, net, [0, 1])
+
+
+class TestGantt:
+    def test_one_row_per_device(self):
+        g, net, res = run_chain()
+        chart = render_gantt(res, g)
+        rows = [l for l in chart.splitlines() if l.startswith("dev")]
+        assert len(rows) == 2
+
+    def test_task_marks_present(self):
+        g, net, res = run_chain()
+        chart = render_gantt(res, g)
+        dev0 = [l for l in chart.splitlines() if l.startswith("dev  0")][0]
+        dev1 = [l for l in chart.splitlines() if l.startswith("dev  1")][0]
+        assert "0" in dev0 and "1" in dev1
+        assert "1" not in dev0.replace("dev  1", "")
+
+    def test_width_respected(self):
+        g, net, res = run_chain()
+        chart = render_gantt(res, g, width=40)
+        dev_rows = [l for l in chart.splitlines() if l.startswith("dev")]
+        assert all(len(r) == len(dev_rows[0]) for r in dev_rows)
+        assert "." in dev_rows[0]  # idle time visible
+
+    def test_bad_width(self):
+        g, net, res = run_chain()
+        with pytest.raises(ValueError):
+            render_gantt(res, g, width=5)
+
+    def test_idle_gap_rendered(self):
+        # Device 1 idles until the transfer from device 0 arrives.
+        g, net, res = run_chain()
+        dev1 = [l for l in render_gantt(res, g).splitlines() if l.startswith("dev  1")][0]
+        bar = dev1.split("|")[1]
+        assert bar.lstrip(".") != bar  # leading idle dots
+
+
+class TestSummary:
+    def test_contents(self):
+        g, net, res = run_chain()
+        text = schedule_summary(res, g)
+        assert "makespan" in text
+        assert "utilization" in text
+        assert len([l for l in text.splitlines() if l.strip() and l.strip()[0].isdigit()]) == 2
+
+    def test_utilization_bounds(self):
+        g, net, res = run_chain()
+        text = schedule_summary(res, g)
+        import re
+
+        utils = [int(m) for m in re.findall(r"dev\d: (\d+)%", text)]
+        assert all(0 <= u <= 100 for u in utils)

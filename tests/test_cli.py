@@ -1,0 +1,81 @@
+"""CLI tests: the train/test/generate/experiment workflow (Artifact A.5)."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.episodes == 50 and args.embedding == "giph"
+
+    def test_experiment_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig4", "--scale", "huge"])
+
+
+class TestWorkflow:
+    def test_generate(self, capsys):
+        rc = main(["generate", "--count", "2", "--num-tasks", "6", "--num-devices", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "instance 0" in out and "instance 1" in out
+        assert "action space" in out
+
+    def test_train_then_test_roundtrip(self, tmp_path, capsys):
+        rc = main(
+            [
+                "train",
+                "--episodes", "3",
+                "--num-tasks", "5",
+                "--num-devices", "3",
+                "--train-graphs", "2",
+                "--embedding", "giph-ne-pol",
+                "--logdir", str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        run_dirs = list(tmp_path.iterdir())
+        assert len(run_dirs) == 1
+        run_dir = run_dirs[0]
+        assert (run_dir / "agent.npz").exists()
+        assert (run_dir / "args.json").exists()
+        history = json.loads((run_dir / "train_data.json").read_text())
+        assert len(history) == 3
+
+        rc = main(["test", "--run-folder", str(run_dir), "--num-testing-cases", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean over 2 cases" in out
+        test_dirs = [d for d in run_dir.iterdir() if d.name.startswith("test_")]
+        assert len(test_dirs) == 1
+        evals = json.loads((test_dirs[0] / "eval_data.json").read_text())
+        assert len(evals) == 2
+
+    def test_test_with_noise(self, tmp_path, capsys):
+        main(
+            [
+                "train", "--episodes", "2", "--num-tasks", "4", "--num-devices", "2",
+                "--train-graphs", "1", "--embedding", "giph-ne-pol",
+                "--logdir", str(tmp_path),
+            ]
+        )
+        run_dir = next(tmp_path.iterdir())
+        rc = main(
+            ["test", "--run-folder", str(run_dir), "--num-testing-cases", "1", "--noise", "0.2"]
+        )
+        assert rc == 0
+
+    def test_experiment_table1(self, capsys):
+        rc = main(["experiment", "table1", "--scale", "quick"])
+        assert rc == 0
+        assert "Table 1" in capsys.readouterr().out
