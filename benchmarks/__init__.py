@@ -1,0 +1,6 @@
+"""Benchmark suite package.
+
+Present so ``benchmarks/test_*.py`` modules can use relative imports
+(``from .conftest import ...``) when collected by a rootdir-level
+``python -m pytest`` run.
+"""

@@ -7,6 +7,7 @@ Subpackages
 * :mod:`repro.graphs` — task graphs: structures and generators.
 * :mod:`repro.devices` — heterogeneous device networks and churn.
 * :mod:`repro.sim` — discrete-event runtime simulator, metrics, objectives.
+* :mod:`repro.runtime` — batched/caching placement scoring (PlacementEvaluator).
 * :mod:`repro.core` — GiPH itself: gpNet, MDP, GNNs, policy, REINFORCE.
 * :mod:`repro.baselines` — HEFT, EFT hybrids, Placeto, RNN placer.
 * :mod:`repro.casestudy` — CAV sensor-fusion case study.
@@ -38,6 +39,7 @@ from .core import (
     random_placement,
     run_search,
 )
+from .runtime import EvaluatorStats, PlacementEvaluator
 from .sim import EnergyObjective, MakespanObjective, TotalCostObjective, simulate
 
 __version__ = "1.0.0"
@@ -45,6 +47,8 @@ __version__ = "1.0.0"
 __all__ = [
     "GiPHAgent",
     "PlacementProblem",
+    "PlacementEvaluator",
+    "EvaluatorStats",
     "ReinforceConfig",
     "ReinforceTrainer",
     "SearchTrace",

@@ -13,13 +13,20 @@ import numpy as np
 
 from ..core.placement import PlacementProblem
 from ..core.search import SearchTrace
+from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
 
-__all__ = ["SearchPolicy", "trace_from_values"]
+__all__ = ["SearchPolicy", "make_evaluator", "trace_from_values"]
 
 
 class SearchPolicy(Protocol):
-    """A placement-search policy evaluated step by step."""
+    """A placement-search policy evaluated step by step.
+
+    ``evaluator`` optionally supplies the shared scoring path for the
+    (problem, objective) pair — the experiment harness passes one per
+    case so it can batch evaluations and report cache statistics; a
+    policy creates its own when none is given.
+    """
 
     name: str
 
@@ -30,8 +37,22 @@ class SearchPolicy(Protocol):
         initial_placement: Sequence[int],
         episode_length: int,
         rng: np.random.Generator,
+        evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
         ...
+
+
+def make_evaluator(
+    problem: PlacementProblem,
+    objective: Objective,
+    evaluator: PlacementEvaluator | None,
+) -> PlacementEvaluator:
+    """Validate a caller-supplied evaluator or create a private one."""
+    if evaluator is None:
+        return PlacementEvaluator(problem, objective)
+    if evaluator.problem is not problem or evaluator.objective is not objective:
+        raise ValueError("evaluator must be bound to the search's problem and objective")
+    return evaluator
 
 
 def trace_from_values(

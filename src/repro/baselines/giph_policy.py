@@ -10,6 +10,7 @@ from ..core.agent import GiPHAgent
 from ..core.features import FeatureConfig
 from ..core.placement import PlacementProblem
 from ..core.search import SearchTrace, run_search
+from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
 
 __all__ = ["GiPHSearchPolicy"]
@@ -37,6 +38,7 @@ class GiPHSearchPolicy:
         initial_placement: Sequence[int],
         episode_length: int,
         rng: np.random.Generator,
+        evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
         # The agent samples with its own rng; reseed it from the caller's
         # stream so evaluation sweeps are reproducible end to end.
@@ -49,4 +51,5 @@ class GiPHSearchPolicy:
             episode_length=episode_length,
             greedy=self.greedy,
             feature_config=self.feature_config,
+            evaluator=evaluator,
         )

@@ -28,8 +28,9 @@ from ..core.reinforce import average_reward_baseline, discounted_returns
 from ..core.search import SearchTrace
 from ..nn import MLP, Adam, Linear, Module, Parameter, Tensor, concat, no_grad
 from ..nn import functional as F
+from ..runtime.evaluator import EvaluatorPool, PlacementEvaluator
 from ..sim.objectives import Objective
-from .base import trace_from_values
+from .base import make_evaluator, trace_from_values
 
 __all__ = ["PlacetoAgent", "PlacetoTrainer", "placeto_node_features"]
 
@@ -186,13 +187,15 @@ class PlacetoAgent:
         initial_placement: Sequence[int],
         episode_length: int,
         rng: np.random.Generator,
+        evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
         """Traverse nodes once per |V| steps; restart a fresh traversal
         when the budget allows (paper §5: "we start a new search episode
         for Placeto after |V| steps")."""
+        evaluator = make_evaluator(problem, objective, evaluator)
         placement = list(problem.validate_placement(initial_placement))
         placements = [tuple(placement)]
-        values = [objective.evaluate(problem.cost_model, placement)]
+        values = [evaluator.evaluate(placement)]
         relocations = np.zeros(problem.graph.num_tasks, dtype=int)
         n = problem.graph.num_tasks
         traversal = list(problem.graph.topo_order)
@@ -211,7 +214,7 @@ class PlacetoAgent:
             placed[node] = True
             position += 1
             placements.append(tuple(placement))
-            values.append(objective.evaluate(problem.cost_model, placement))
+            values.append(evaluator.evaluate(placement))
         return trace_from_values(placements, values, n, relocations.tolist())
 
 
@@ -231,12 +234,14 @@ class PlacetoTrainer:
         self.gamma = gamma
         self.grad_clip = grad_clip
         self.optimizer = Adam(list(agent.parameters()), lr=learning_rate)
+        self._evaluators = EvaluatorPool(objective)
 
     def run_episode(self, problem: PlacementProblem, rng: np.random.Generator) -> float:
         from ..core.placement import random_placement
 
+        evaluator = self._evaluators.get(problem)
         placement = list(random_placement(problem, rng))
-        value = self.objective.evaluate(problem.cost_model, placement)
+        value = evaluator.evaluate(placement)
         placed = np.zeros(problem.graph.num_tasks, dtype=bool)
         log_probs: list[Tensor] = []
         rewards: list[float] = []
@@ -244,7 +249,7 @@ class PlacetoTrainer:
             device, log_prob = self.agent.choose_device(problem, placement, node, placed)
             placement[node] = device
             placed[node] = True
-            new_value = self.objective.evaluate(problem.cost_model, placement)
+            new_value = evaluator.evaluate(placement)
             rewards.append(value - new_value)
             log_probs.append(log_prob)
             value = new_value

@@ -8,8 +8,9 @@ import numpy as np
 
 from ..core.placement import PlacementProblem, random_placement
 from ..core.search import SearchTrace
+from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
-from .base import trace_from_values
+from .base import make_evaluator, trace_from_values
 from .eft import eft_device
 
 __all__ = ["RandomPlacementPolicy", "RandomTaskEftPolicy"]
@@ -17,7 +18,12 @@ __all__ = ["RandomPlacementPolicy", "RandomTaskEftPolicy"]
 
 class RandomPlacementPolicy:
     """Random placement sampling: a fresh uniform feasible placement per
-    step — "representative of the average placement quality"."""
+    step — "representative of the average placement quality".
+
+    Candidates are independent of each other's scores, so the whole
+    episode is drawn up front and scored in one
+    :meth:`PlacementEvaluator.evaluate_many` batch.
+    """
 
     name = "random"
 
@@ -28,14 +34,13 @@ class RandomPlacementPolicy:
         initial_placement: Sequence[int],
         episode_length: int,
         rng: np.random.Generator,
+        evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
+        evaluator = make_evaluator(problem, objective, evaluator)
         placements = [problem.validate_placement(initial_placement)]
-        values = [objective.evaluate(problem.cost_model, placements[0])]
-        for _ in range(episode_length):
-            placement = random_placement(problem, rng)
-            placements.append(placement)
-            values.append(objective.evaluate(problem.cost_model, placement))
-        return trace_from_values(placements, values, problem.graph.num_tasks)
+        placements += [random_placement(problem, rng) for _ in range(episode_length)]
+        values = evaluator.evaluate_many(placements)
+        return trace_from_values(placements, values.tolist(), problem.graph.num_tasks)
 
 
 class RandomTaskEftPolicy:
@@ -52,19 +57,25 @@ class RandomTaskEftPolicy:
         initial_placement: Sequence[int],
         episode_length: int,
         rng: np.random.Generator,
+        evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
+        evaluator = make_evaluator(problem, objective, evaluator)
         placement = list(problem.validate_placement(initial_placement))
         placements = [tuple(placement)]
-        values = [objective.evaluate(problem.cost_model, placement)]
+        values = [evaluator.evaluate(placement)]
         relocations = np.zeros(problem.graph.num_tasks, dtype=int)
         for _ in range(episode_length):
             task = int(rng.integers(0, problem.graph.num_tasks))
-            device = eft_device(problem, placement, task)
+            # EFT reads the current placement's noise-free timeline, which
+            # the evaluator already has cached from scoring it.
+            device = eft_device(
+                problem, placement, task, timeline=evaluator.timeline(placement)
+            )
             if device != placement[task]:
                 relocations[task] += 1
             placement[task] = device
             placements.append(tuple(placement))
-            values.append(objective.evaluate(problem.cost_model, placement))
+            values.append(evaluator.evaluate(placement))
         return trace_from_values(
             placements, values, problem.graph.num_tasks, relocations.tolist()
         )

@@ -20,9 +20,10 @@ from ..core.policy import ScorePolicy
 from ..core.reinforce import average_reward_baseline, discounted_returns
 from ..core.search import SearchTrace
 from ..nn import Adam, Parameter, Tensor, no_grad
+from ..runtime.evaluator import EvaluatorPool, PlacementEvaluator
 from ..sim.executor import SimResult, simulate
 from ..sim.objectives import Objective
-from .base import trace_from_values
+from .base import make_evaluator, trace_from_values
 from .eft import eft_device
 
 __all__ = ["build_task_view", "TaskEftAgent", "TaskEftTrainer"]
@@ -108,9 +109,10 @@ class TaskEftAgent:
         placement: Sequence[int],
         last_task: int | None,
         greedy: bool = False,
+        timeline: SimResult | None = None,
     ) -> tuple[int, Tensor]:
         """Sample a task to relocate; returns (task, log-prob tensor)."""
-        view = build_task_view(problem, placement)
+        view = build_task_view(problem, placement, timeline=timeline)
         embeddings = self.embedding(view)
         mask = np.ones(problem.graph.num_tasks, dtype=bool)
         if last_task is not None and problem.graph.num_tasks > 1:
@@ -124,22 +126,26 @@ class TaskEftAgent:
         initial_placement: Sequence[int],
         episode_length: int,
         rng: np.random.Generator,
+        evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
+        evaluator = make_evaluator(problem, objective, evaluator)
         placement = list(problem.validate_placement(initial_placement))
         placements = [tuple(placement)]
-        values = [objective.evaluate(problem.cost_model, placement)]
+        values = [evaluator.evaluate(placement)]
         relocations = np.zeros(problem.graph.num_tasks, dtype=int)
         last_task: int | None = None
         for _ in range(episode_length):
+            # One cached timeline serves both the task view and EFT.
+            timeline = evaluator.timeline(placement)
             with no_grad():
-                task, _ = self.select_task(problem, placement, last_task)
-            device = eft_device(problem, placement, task)
+                task, _ = self.select_task(problem, placement, last_task, timeline=timeline)
+            device = eft_device(problem, placement, task, timeline=timeline)
             if device != placement[task]:
                 relocations[task] += 1
             placement[task] = device
             last_task = task
             placements.append(tuple(placement))
-            values.append(objective.evaluate(problem.cost_model, placement))
+            values.append(evaluator.evaluate(placement))
         return trace_from_values(
             placements, values, problem.graph.num_tasks, relocations.tolist()
         )
@@ -161,6 +167,7 @@ class TaskEftTrainer:
         self.gamma = gamma
         self.grad_clip = grad_clip
         self.optimizer = Adam(list(agent.parameters()), lr=learning_rate)
+        self._evaluators = EvaluatorPool(objective)
 
     def run_episode(
         self,
@@ -171,17 +178,21 @@ class TaskEftTrainer:
         """One on-policy episode + gradient step; returns total reward."""
         from ..core.placement import random_placement
 
+        evaluator = self._evaluators.get(problem)
         steps = episode_length or 2 * problem.graph.num_tasks
         placement = list(random_placement(problem, rng))
-        value = self.objective.evaluate(problem.cost_model, placement)
+        value = evaluator.evaluate(placement)
         log_probs: list[Tensor] = []
         rewards: list[float] = []
         last_task: int | None = None
         for _ in range(steps):
-            task, log_prob = self.agent.select_task(problem, placement, last_task)
-            placement[task] = eft_device(problem, placement, task)
+            timeline = evaluator.timeline(placement)
+            task, log_prob = self.agent.select_task(
+                problem, placement, last_task, timeline=timeline
+            )
+            placement[task] = eft_device(problem, placement, task, timeline=timeline)
             last_task = task
-            new_value = self.objective.evaluate(problem.cost_model, placement)
+            new_value = evaluator.evaluate(placement)
             rewards.append(value - new_value)
             log_probs.append(log_prob)
             value = new_value

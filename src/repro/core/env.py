@@ -4,6 +4,12 @@ States are feasible placements; an action (v_i, d_j) relocates task v_i
 onto device d_j; the reward is the objective improvement
 ρ(s_t) − ρ(s_{t+1}) (lower objective = better placement, so positive
 reward means the move helped).
+
+All scoring flows through a :class:`repro.runtime.PlacementEvaluator`
+(one noise-free timeline per state is shared between the objective and
+gpNet feature construction, and repeat placements hit its LRU cache);
+``step`` rebuilds the gpNet incrementally via
+:meth:`GpNetBuilder.update` since only one task moved.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
 from .features import FeatureConfig, GpNetBuilder
 from .gpnet import GpNet
@@ -52,6 +59,13 @@ class PlacementEnv:
     feature_config: gpNet feature options.
     mask_no_ops: mask actions equal to the current placement (pivots).
     mask_repeat_task: mask relocating the task moved in the previous step.
+    evaluator: a shared :class:`PlacementEvaluator` for this (problem,
+        objective) pair — pass one to pool its caches across envs (e.g.
+        across training episodes); a private one is created otherwise.
+    builder: a shared :class:`GpNetBuilder` for this problem — its
+        per-instance precompute (static features, edge-block layout) is
+        paid once when reused across episodes; created privately
+        otherwise.  Must match ``feature_config`` when both are given.
     """
 
     def __init__(
@@ -62,13 +76,26 @@ class PlacementEnv:
         feature_config: FeatureConfig | None = None,
         mask_no_ops: bool = True,
         mask_repeat_task: bool = True,
+        evaluator: PlacementEvaluator | None = None,
+        builder: GpNetBuilder | None = None,
     ) -> None:
         self.problem = problem
         self.objective = objective
         self.episode_length = episode_length or default_episode_length(problem)
         if self.episode_length < 1:
             raise ValueError("episode_length must be >= 1")
-        self.builder = GpNetBuilder(problem, feature_config)
+        if evaluator is None:
+            evaluator = PlacementEvaluator(problem, objective)
+        elif evaluator.problem is not problem or evaluator.objective is not objective:
+            raise ValueError("evaluator must be bound to this env's problem and objective")
+        self.evaluator = evaluator
+        if builder is None:
+            builder = GpNetBuilder(problem, feature_config)
+        elif builder.problem is not problem or builder.config != (
+            feature_config or FeatureConfig()
+        ):
+            raise ValueError("builder must be bound to this env's problem and feature config")
+        self.builder = builder
         self.mask_no_ops = mask_no_ops
         self.mask_repeat_task = mask_repeat_task
         self._state: EnvState | None = None
@@ -96,10 +123,18 @@ class PlacementEnv:
         return self._state
 
     def _make_state(
-        self, placement: tuple[int, ...], last_moved: int | None, step: int
+        self,
+        placement: tuple[int, ...],
+        last_moved: int | None,
+        step: int,
+        prev_gpnet: GpNet | None = None,
     ) -> EnvState:
-        gpnet = self.builder.build(placement)
-        value = self.objective.evaluate(self.problem.cost_model, placement)
+        timeline = self.evaluator.timeline(placement)
+        if prev_gpnet is not None and last_moved is not None:
+            gpnet = self.builder.update(prev_gpnet, placement, last_moved, timeline=timeline)
+        else:
+            gpnet = self.builder.build(placement, timeline=timeline)
+        value = self.evaluator.evaluate(placement)
         return EnvState(placement, gpnet, value, last_moved, step)
 
     # -- masks ------------------------------------------------------------------------
@@ -135,7 +170,9 @@ class PlacementEnv:
         task, device = state.gpnet.action_of(action_node)
         placement = list(state.placement)
         placement[task] = device
-        next_state = self._make_state(tuple(placement), last_moved=task, step=state.step + 1)
+        next_state = self._make_state(
+            tuple(placement), last_moved=task, step=state.step + 1, prev_gpnet=state.gpnet
+        )
         reward = state.objective_value - next_state.objective_value
         done = next_state.step >= self.episode_length
         self._state = next_state

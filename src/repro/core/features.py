@@ -18,6 +18,15 @@ Edge features of ((v_i, d_k), (v_j, d_l)):
 
 Features are normalized per instance (each column divided by its mean
 magnitude) so policies transfer across problem scales.
+
+Only the start-time potential and pivot-adjacent edge features depend on
+the placement; everything else is static per instance.  The builder
+precomputes the static parts once and offers :meth:`GpNetBuilder.update`
+— an incremental rebuild after a single relocation that recomputes only
+the gpNet edges incident to the moved task (the node-feature potential
+column is global, since one move reshuffles the whole schedule, but it
+is evaluated vectorized).  ``update`` output is exactly equal to a
+fresh :meth:`GpNetBuilder.build` of the same placement.
 """
 
 from __future__ import annotations
@@ -49,12 +58,25 @@ class FeatureConfig:
     normalize: bool = True
 
 
+@dataclass(frozen=True)
+class _RawBuild:
+    """Pre-normalization arrays of the last build, for incremental reuse."""
+
+    placement: tuple[int, ...]
+    pivot_node: tuple[int, ...]
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    edge_features: np.ndarray
+
+
 class GpNetBuilder:
     """Builds gpNets with fully populated features for one problem.
 
     The builder runs one noise-free simulation of the current placement
     per build to obtain the schedule timeline that the start-time
-    potential is measured against.
+    potential is measured against (callers holding a cached timeline —
+    e.g. :class:`repro.runtime.PlacementEvaluator` — pass it in to skip
+    the simulation).
     """
 
     def __init__(self, problem: PlacementProblem, config: FeatureConfig | None = None) -> None:
@@ -64,31 +86,87 @@ class GpNetBuilder:
             self._inv_bw = np.where(
                 np.isinf(problem.network.bandwidth), 0.0, 1.0 / problem.network.bandwidth
             )
+        graph = problem.graph
+        cm = problem.cost_model
+        feas = problem.feasible_sets
+
+        # Static node structure: one node per feasible (task, device) pair,
+        # grouped by task — identical layout to gpnet.build_gpnet.
+        offsets: list[int] = []
+        task_of: list[int] = []
+        device_of: list[int] = []
+        for i, f in enumerate(feas):
+            offsets.append(len(task_of))
+            task_of.extend([i] * len(f))
+            device_of.extend(f)
+        self._offsets = tuple(offsets)
+        self._task_of = np.array(task_of, dtype=np.int64)
+        self._device_of = np.array(device_of, dtype=np.int64)
+        self._options = tuple(
+            np.arange(offsets[i], offsets[i] + len(feas[i])) for i in range(graph.num_tasks)
+        )
+        self._feas_arrays = tuple(np.array(f, dtype=np.int64) for f in feas)
+        self._feas_index = tuple({d: k for k, d in enumerate(f)} for f in feas)
+        self._num_nodes = len(task_of)
+
+        # Static node feature columns (C_i, SP_k, w_{i,k}).
+        self._static_node_cols = np.column_stack(
+            [
+                np.asarray(graph.compute, dtype=np.float64)[self._task_of],
+                np.asarray(problem.network.speeds, dtype=np.float64)[self._device_of],
+                cm.W[self._task_of, self._device_of],
+            ]
+        )
+
+        # Contiguous gpNet-edge block per task-graph edge (i, j):
+        # |D_j| edges pivot_i -> options_j, then |D_i| - 1 edges
+        # (options_i \ pivot_i) -> pivot_j.  Sizes are placement-independent.
+        blocks: dict[tuple[int, int], tuple[int, int]] = {}
+        pos = 0
+        for (i, j) in graph.edges:
+            size = len(feas[j]) + len(feas[i]) - 1
+            blocks[(i, j)] = (pos, size)
+            pos += size
+        self._edge_blocks = blocks
+        self._num_gpnet_edges = pos
+        self._layout_checked = False
+        # Incident task-graph edges per task, straight from the adjacency
+        # lists (blocks are keyed by edge tuple, so order is irrelevant).
+        self._incident_edges = tuple(
+            tuple((p, i) for p in graph.parents[i]) + tuple((i, c) for c in graph.children[i])
+            for i in range(graph.num_tasks)
+        )
+        self._last: _RawBuild | None = None
 
     # -- feature maps -------------------------------------------------------------
 
+    def _start_potentials(self, placement: Sequence[int], timeline: SimResult) -> np.ndarray:
+        """Column 4 of f_n for every node, vectorized over each option set."""
+        graph = self.problem.graph
+        delay = self.problem.network.delay
+        inv_bw = self._inv_bw
+        edges = graph.edges
+        finish, start = timeline.finish, timeline.start
+        out = np.empty(self._num_nodes)
+        for i, feas in enumerate(self._feas_arrays):
+            o = self._offsets[i]
+            est = np.zeros(len(feas))
+            for p in graph.parents[i]:
+                ps = placement[p]
+                cand = finish[p] + (delay[ps, feas] + edges[(p, i)] * inv_bw[ps, feas])
+                np.maximum(est, cand, out=est)
+            out[o : o + len(feas)] = est - start[i]
+        return out
+
     def _node_features(self, placement: Sequence[int], timeline: SimResult) -> np.ndarray:
-        problem, graph = self.problem, self.problem.graph
-        cm = problem.cost_model
-        speeds = problem.network.speeds
-        rows: list[list[float]] = []
-        for i, feas in enumerate(problem.feasible_sets):
-            for d in feas:
-                row = [graph.compute[i], speeds[d], cm.compute_time(i, d)]
-                if self.config.use_start_time_potential:
-                    est = 0.0
-                    for p in graph.parents[i]:
-                        est = max(
-                            est,
-                            timeline.finish[p] + cm.comm_time((p, i), placement[p], d),
-                        )
-                    row.append(est - timeline.start[i])
-                rows.append(row)
-        feats = np.array(rows, dtype=np.float64)
-        if not self.config.use_start_time_potential:
+        feats = np.empty((self._num_nodes, NODE_FEATURE_DIM))
+        feats[:, :3] = self._static_node_cols
+        if self.config.use_start_time_potential:
+            feats[:, 3] = self._start_potentials(placement, timeline)
+        else:
             # Keep the dimension stable (zeros) so networks are comparable
             # with and without the feature, as in the Fig. 15 ablation.
-            feats = np.hstack([feats, np.zeros((len(feats), 1))])
+            feats[:, 3] = 0.0
         return feats
 
     def _edge_feature_fn(self, placement: Sequence[int]):
@@ -129,19 +207,158 @@ class GpNetBuilder:
             timeline = self.timeline(placement)
         node_features = self._node_features(placement, timeline)
         net = build_gpnet(self.problem, placement, node_features, self._edge_feature_fn(placement))
-        if self.config.normalize:
-            net = GpNet(
-                task_of=net.task_of,
-                device_of=net.device_of,
-                is_pivot=net.is_pivot,
-                options=net.options,
-                edge_src=net.edge_src,
-                edge_dst=net.edge_dst,
-                node_features=self._normalize(net.node_features),
-                edge_features=self._normalize(net.edge_features),
-                placement=net.placement,
+        pivot_node = tuple(
+            self._offsets[i] + self._feas_index[i][d] for i, d in enumerate(placement)
+        )
+        self._check_layout(net, pivot_node)
+        self._last = _RawBuild(
+            placement=placement,
+            pivot_node=pivot_node,
+            edge_src=net.edge_src,
+            edge_dst=net.edge_dst,
+            edge_features=net.edge_features,
+        )
+        return self._finalize(net)
+
+    def _check_layout(self, net: GpNet, pivot_node: tuple[int, ...]) -> None:
+        """Guard against layout drift between build_gpnet and __init__.
+
+        update() writes into edge blocks laid out by __init__ under the
+        assumption that build_gpnet groups nodes by task and, per
+        task-graph edge, emits one contiguous pivot_i→options_j then
+        options_i∖{pivot_i}→pivot_j block in graph.edges order.  The
+        emission order is fixed code, so the full structural comparison
+        (including per-block edge endpoints) runs once per builder —
+        every incremental chain starts from a full build, so any drift
+        fails loudly instead of silently corrupting gpNets.
+        """
+        if self._layout_checked:
+            return
+        expected_src: list[int] = []
+        expected_dst: list[int] = []
+        for (i, j) in self.problem.graph.edges:
+            pi, pj = pivot_node[i], pivot_node[j]
+            expected_src.extend([pi] * len(self._options[j]))
+            expected_dst.extend(int(u2) for u2 in self._options[j])
+            for u1 in self._options[i]:
+                if int(u1) != pi:
+                    expected_src.append(int(u1))
+                    expected_dst.append(pj)
+        if (
+            net.num_nodes != self._num_nodes
+            or net.num_edges != self._num_gpnet_edges
+            or not np.array_equal(net.task_of, self._task_of)
+            or not np.array_equal(net.device_of, self._device_of)
+            or not np.array_equal(net.edge_src, np.array(expected_src, dtype=np.int64))
+            or not np.array_equal(net.edge_dst, np.array(expected_dst, dtype=np.int64))
+        ):
+            raise RuntimeError(
+                "gpNet layout produced by build_gpnet no longer matches "
+                "GpNetBuilder's precomputed structure; incremental updates "
+                "would be incorrect"
             )
-        return net
+        self._layout_checked = True
+
+    def update(
+        self,
+        prev_gpnet: GpNet,
+        placement: Sequence[int],
+        moved_task: int,
+        timeline: SimResult | None = None,
+    ) -> GpNet:
+        """Rebuild the gpNet after relocating ``moved_task`` only.
+
+        Exactly equal to ``build(placement, timeline)`` but recomputes
+        only the gpNet edges whose task-graph edge touches the moved
+        task, reusing everything else from the previous build.  Falls
+        back to a full build when the previous raw state is unavailable
+        (e.g. the builder last built a different placement).
+        """
+        placement = self.problem.validate_placement(placement)
+        last = self._last
+        if last is None or last.placement != prev_gpnet.placement:
+            return self.build(placement, timeline)
+        diff = [i for i, (a, b) in enumerate(zip(placement, last.placement)) if a != b]
+        if not diff:
+            return prev_gpnet
+        if diff != [moved_task]:
+            return self.build(placement, timeline)
+        if timeline is None:
+            timeline = self.timeline(placement)
+
+        graph = self.problem.graph
+        pivot_node = list(last.pivot_node)
+        pivot_node[moved_task] = (
+            self._offsets[moved_task] + self._feas_index[moved_task][placement[moved_task]]
+        )
+        is_pivot = np.zeros(self._num_nodes, dtype=bool)
+        is_pivot[pivot_node] = True
+
+        edge_src = last.edge_src.copy()
+        edge_dst = last.edge_dst.copy()
+        edge_features = last.edge_features.copy()
+        f_e = self._edge_feature_fn(placement)
+        for (i, j) in self._incident_edges[moved_task]:
+            pos, size = self._edge_blocks[(i, j)]
+            pi, pj = pivot_node[i], pivot_node[j]
+            src: list[int] = []
+            dst: list[int] = []
+            feats: list[np.ndarray] = []
+            for u2 in self._options[j]:
+                src.append(pi)
+                dst.append(int(u2))
+                feats.append(f_e((i, j), placement[i], int(self._device_of[u2])))
+            for u1 in self._options[i]:
+                if int(u1) == pi:
+                    continue
+                src.append(int(u1))
+                dst.append(pj)
+                feats.append(f_e((i, j), int(self._device_of[u1]), placement[j]))
+            edge_src[pos : pos + size] = src
+            edge_dst[pos : pos + size] = dst
+            edge_features[pos : pos + size] = feats
+
+        net = GpNet(
+            task_of=self._task_of,
+            device_of=self._device_of,
+            is_pivot=is_pivot,
+            options=self._options,
+            edge_src=edge_src,
+            edge_dst=edge_dst,
+            node_features=self._node_features(placement, timeline),
+            edge_features=edge_features,
+            placement=placement,
+        )
+        self._last = _RawBuild(
+            placement=placement,
+            pivot_node=tuple(pivot_node),
+            edge_src=edge_src,
+            edge_dst=edge_dst,
+            edge_features=edge_features,
+        )
+        return self._finalize(net)
+
+    def _finalize(self, net: GpNet) -> GpNet:
+        """Apply per-instance normalization.
+
+        The returned GpNet shares structure arrays (and, with
+        ``normalize=False``, feature arrays) with the builder's raw
+        state — GpNets are treated as immutable throughout the codebase;
+        mutating one in place would corrupt subsequent incremental
+        updates."""
+        if not self.config.normalize:
+            return net
+        return GpNet(
+            task_of=net.task_of,
+            device_of=net.device_of,
+            is_pivot=net.is_pivot,
+            options=net.options,
+            edge_src=net.edge_src,
+            edge_dst=net.edge_dst,
+            node_features=self._normalize(net.node_features),
+            edge_features=self._normalize(net.edge_features),
+            placement=net.placement,
+        )
 
     def timeline(self, placement: Sequence[int]) -> SimResult:
         """Noise-free schedule of ``placement`` (expectation timeline)."""

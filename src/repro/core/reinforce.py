@@ -10,16 +10,18 @@ average reward before step t in an episode".
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..nn import Adam, Tensor
+from ..runtime.evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluator
 from ..sim.objectives import Objective
 from .agent import GiPHAgent
 from .env import PlacementEnv
-from .features import FeatureConfig
+from .features import FeatureConfig, GpNetBuilder
 from .placement import PlacementProblem
 
 __all__ = ["ReinforceConfig", "EpisodeStats", "ReinforceTrainer", "discounted_returns"]
@@ -95,6 +97,34 @@ class ReinforceTrainer:
         self.config = config or ReinforceConfig()
         self.optimizer = Adam(list(agent.parameters()), lr=self.config.learning_rate)
         self.history: list[EpisodeStats] = []
+        # One evaluator and one gpNet builder per problem instance,
+        # shared across the episode batch: the training set repeats
+        # problems, so cached placement values/timelines and the
+        # builder's static per-instance precompute pay off across
+        # episodes instead of being rebuilt each one.
+        self._evaluators = EvaluatorPool(objective)
+        self._builders: OrderedDict[int, GpNetBuilder] = OrderedDict()
+
+    def evaluator_for(self, problem: PlacementProblem) -> PlacementEvaluator:
+        """The shared scoring path for ``problem`` (created on first use)."""
+        return self._evaluators.get(problem)
+
+    def evaluator_stats(self) -> EvaluatorStats:
+        """Aggregate cache/eval counters across all training problems."""
+        return self._evaluators.stats()
+
+    def _builder_for(self, problem: PlacementProblem) -> GpNetBuilder:
+        builder = self._builders.get(id(problem))
+        if builder is None:
+            builder = GpNetBuilder(problem, self.config.feature_config)
+            self._builders[id(problem)] = builder
+            # Same LRU bound as the evaluator pool: don't pin one builder
+            # per instance across an arbitrarily large problem sweep.
+            if len(self._builders) > self._evaluators.max_problems:
+                self._builders.popitem(last=False)
+        else:
+            self._builders.move_to_end(id(problem))
+        return builder
 
     def run_episode(self, problem: PlacementProblem, rng: np.random.Generator) -> EpisodeStats:
         """Collect one on-policy episode and apply a gradient update."""
@@ -104,6 +134,8 @@ class ReinforceTrainer:
             self.objective,
             episode_length=cfg.episode_length,
             feature_config=cfg.feature_config,
+            evaluator=self.evaluator_for(problem),
+            builder=self._builder_for(problem),
         )
         state = env.reset(rng=rng)
         initial_value = state.objective_value

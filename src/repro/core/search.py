@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
 from .agent import GiPHAgent
 from .env import PlacementEnv
@@ -51,16 +52,23 @@ def run_search(
     greedy: bool = False,
     feature_config=None,
     stopping=None,
+    evaluator: PlacementEvaluator | None = None,
 ) -> SearchTrace:
     """Run one evaluation episode; no learning happens here.
 
     ``stopping`` optionally supplies a
     :class:`repro.core.stopping.StoppingCriterion` evaluated after every
     step (on top of the fixed ``episode_length`` budget) — the paper's §6
-    discussion of search stopping criteria.
+    discussion of search stopping criteria.  ``evaluator`` optionally
+    shares a :class:`PlacementEvaluator` (and its caches) across
+    episodes of the same (problem, objective) pair.
     """
     env = PlacementEnv(
-        problem, objective, episode_length=episode_length, feature_config=feature_config
+        problem,
+        objective,
+        episode_length=episode_length,
+        feature_config=feature_config,
+        evaluator=evaluator,
     )
     state = env.reset(initial_placement=initial_placement)
     values = [state.objective_value]

@@ -33,11 +33,12 @@ __all__ = ["run"]
 class _MasklessSearchPolicy(GiPHSearchPolicy):
     """GiPH evaluated with the §4.2.3 masks disabled."""
 
-    def search(self, problem, objective, initial_placement, episode_length, rng):
+    def search(self, problem, objective, initial_placement, episode_length, rng, evaluator=None):
         self.agent.rng = rng
         env = PlacementEnv(
             problem, objective, episode_length=episode_length,
             mask_no_ops=False, mask_repeat_task=False,
+            evaluator=evaluator,
         )
         state = env.reset(initial_placement=initial_placement)
         values = [state.objective_value]

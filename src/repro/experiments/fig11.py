@@ -40,6 +40,10 @@ class RelocationAwareMakespan:
     runs of a pipeline executing at frequency f.
     """
 
+    # Noise-free makespan plus a placement-determined penalty: repeatable,
+    # so PlacementEvaluator may cache values.
+    deterministic = True
+
     def __init__(
         self,
         reference_placement: Sequence[int],

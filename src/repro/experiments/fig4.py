@@ -16,7 +16,7 @@ from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPoli
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import Dataset, multi_network_dataset, single_network_dataset
-from .reporting import banner, format_series
+from .reporting import banner, format_evaluator_stats, format_series
 from .runner import evaluate_policies, train_giph, train_placeto, train_task_eft
 
 __all__ = ["run"]
@@ -66,9 +66,17 @@ def run(scale: Scale, seed: int = 0) -> ExperimentReport:
                     every=max(1, scale.num_tasks // 2),
                 )
             )
+            # Deterministic counters only in the persisted report text;
+            # wall-clock timing lives in `data` (the benchmark prints it)
+            # so same-seed result artifacts stay diffable.
+            sections.append(format_evaluator_stats(result.evaluator_stats))
             data[panel] = {
                 "curves": {k: v.tolist() for k, v in result.curves.items()},
                 "final": {k: result.mean_final(k) for k in result.finals},
+                "evaluator": {
+                    k: s.as_dict() for k, s in result.evaluator_stats.items()
+                },
+                "search_seconds": dict(result.search_seconds),
             }
 
     return ExperimentReport(

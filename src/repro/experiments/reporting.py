@@ -11,7 +11,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series", "ascii_chart", "banner"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_evaluator_stats",
+    "ascii_chart",
+    "banner",
+]
 
 
 def banner(title: str) -> str:
@@ -75,6 +81,33 @@ def format_series(
     if chart and length >= 2:
         text += "\n\n" + ascii_chart(series, x_label=x_label)
     return text
+
+
+def format_evaluator_stats(
+    stats: Mapping[str, object],
+    title: str = "scoring-path statistics (PlacementEvaluator)",
+) -> str:
+    """Table of per-policy evaluation counters from an evaluation sweep.
+
+    ``stats`` maps policy name to a :class:`repro.runtime.EvaluatorStats`
+    (duck-typed: anything with its counter attributes works).  Counters
+    only — wall-clock throughput is deliberately excluded so persisted
+    reports stay byte-identical across same-seed runs; benchmarks derive
+    evaluations/sec from ``EvalResult.search_seconds`` themselves.
+    """
+    headers = ["policy", "evals", "cache hits", "hit rate", "fast path", "exact path"]
+    rows = [
+        [
+            name,
+            int(s.evaluations),
+            int(s.cache_hits),
+            float(s.hit_rate),
+            int(s.fast_path),
+            int(s.exact_path),
+        ]
+        for name, s in stats.items()
+    ]
+    return format_table(headers, rows, title=title)
 
 
 _MARKS = "*o+x#@%&"

@@ -8,12 +8,13 @@ report the best-so-far objective after every step, normalized to SLR
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..baselines.base import SearchPolicy, trace_from_values
+from ..baselines.base import SearchPolicy, make_evaluator, trace_from_values
 from ..baselines.heft import heft_placement
 from ..baselines.placeto import PlacetoAgent, PlacetoTrainer
 from ..baselines.task_eft import TaskEftAgent, TaskEftTrainer
@@ -21,6 +22,7 @@ from ..core.agent import GiPHAgent
 from ..core.placement import PlacementProblem, random_placement
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
 from ..core.search import SearchTrace
+from ..runtime.evaluator import EvaluatorStats, PlacementEvaluator
 from ..sim.metrics import cp_min_lower_bound
 from ..sim.objectives import MakespanObjective, Objective
 
@@ -48,9 +50,11 @@ class HeftPolicy:
         initial_placement: Sequence[int],
         episode_length: int,
         rng: np.random.Generator,
+        evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
+        evaluator = make_evaluator(problem, objective, evaluator)
         placement = heft_placement(problem).placement
-        value = objective.evaluate(problem.cost_model, placement)
+        value = evaluator.evaluate(placement)
         return trace_from_values(
             [placement] * (episode_length + 1),
             [value] * (episode_length + 1),
@@ -113,11 +117,16 @@ class EvalResult:
     ``curves[name][t]`` — mean normalized best-so-far value after t steps
     (t=0 is the shared initial placement); ``finals[name]`` — per-case
     final normalized values; ``traces[name]`` — raw per-case traces.
+    ``evaluator_stats[name]`` / ``search_seconds[name]`` — scoring-path
+    counters and wall time aggregated over the sweep's cases (see
+    :func:`repro.experiments.reporting.format_evaluator_stats`).
     """
 
     curves: dict[str, np.ndarray]
     finals: dict[str, list[float]]
     traces: dict[str, list[SearchTrace]]
+    evaluator_stats: dict[str, EvaluatorStats] = field(default_factory=dict)
+    search_seconds: dict[str, float] = field(default_factory=dict)
 
     def mean_final(self, name: str) -> float:
         return float(np.mean(self.finals[name]))
@@ -154,6 +163,8 @@ def evaluate_policies(
     curves: dict[str, list[np.ndarray]] = {name: [] for name in policies}
     finals: dict[str, list[float]] = {name: [] for name in policies}
     traces: dict[str, list[SearchTrace]] = {name: [] for name in policies}
+    stats: dict[str, EvaluatorStats] = {name: EvaluatorStats() for name in policies}
+    seconds: dict[str, float] = {name: 0.0 for name in policies}
 
     for case_index, problem in enumerate(problems):
         case_rng = np.random.default_rng(rng.integers(0, 2**63))
@@ -169,13 +180,18 @@ def evaluate_policies(
                 )
             else:
                 case_objective = MakespanObjective()
+            evaluator = PlacementEvaluator(problem, case_objective)
+            began = time.perf_counter()
             trace = policy.search(
                 problem,
                 case_objective,
                 initial,
                 steps,
                 np.random.default_rng(case_rng.integers(0, 2**63)),
+                evaluator=evaluator,
             )
+            seconds[name] += time.perf_counter() - began
+            stats[name].merge(evaluator.stats)
             curves[name].append(np.asarray(trace.best_over_time) / denom)
             finals[name].append(trace.best_value / denom)
             traces[name].append(trace)
@@ -184,4 +200,6 @@ def evaluate_policies(
         curves={name: average_curves(cs) for name, cs in curves.items()},
         finals=finals,
         traces=traces,
+        evaluator_stats=stats,
+        search_seconds=seconds,
     )

@@ -1,0 +1,12 @@
+"""Runtime subsystem: batched + caching placement scoring.
+
+:class:`PlacementEvaluator` is the single scoring path used by the env,
+search, training, baselines and the experiment harness; it combines an
+LRU placement cache, a shared noise-free timeline cache and the
+vectorized :class:`FastSimulator` fast path.
+"""
+
+from .evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluator
+from .fastsim import FastSimulator
+
+__all__ = ["EvaluatorPool", "EvaluatorStats", "PlacementEvaluator", "FastSimulator"]

@@ -1,0 +1,306 @@
+"""PlacementEvaluator: the single scoring path for placements.
+
+Owns one (graph, network, objective) triple and funnels every
+ρ(M | G, N) evaluation in the codebase — env steps, search episodes,
+training, baselines, experiment sweeps — through one object that can
+amortize work the per-call path cannot:
+
+* an LRU placement → value cache, bypassed when the objective declares
+  itself non-deterministic (noisy objectives must re-sample per call);
+* an LRU placement → timeline cache of noise-free schedules, shared
+  between the makespan objective and gpNet feature construction (the
+  seed code simulated the same placement twice per env step);
+* a vectorized :meth:`evaluate_many` batch API riding the NumPy
+  fast-path simulator of :mod:`repro.runtime.fastsim`, falling back to
+  the exact per-call objective for noisy/unknown objectives.
+
+Deterministic-path values are bit-identical to the seed scoring path
+(``Objective.evaluate`` through :func:`repro.sim.executor.simulate`);
+see ``tests/runtime/test_evaluator.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.placement import PlacementProblem
+from ..sim.executor import SimResult
+from ..sim.objectives import MakespanObjective, Objective
+from .fastsim import FastSimulator
+
+__all__ = ["EvaluatorStats", "PlacementEvaluator", "EvaluatorPool"]
+
+
+@dataclass
+class EvaluatorStats:
+    """Counters describing where evaluations were served from.
+
+    ``evaluations`` counts scored placements (a batch of B counts B);
+    ``cache_hits``/``cache_misses`` partition the deterministic lookups;
+    ``fast_path`` / ``exact_path`` partition the actual computations
+    (fast NumPy simulator vs. the per-call objective).
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fast_path: int = 0
+    exact_path: int = 0
+    batch_calls: int = 0
+    timeline_hits: int = 0
+    timeline_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    def merge(self, other: "EvaluatorStats") -> "EvaluatorStats":
+        """Accumulate ``other`` into self (for sweep-level aggregation)."""
+        for name in (
+            "evaluations",
+            "cache_hits",
+            "cache_misses",
+            "fast_path",
+            "exact_path",
+            "batch_calls",
+            "timeline_hits",
+            "timeline_misses",
+        ):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "fast_path": self.fast_path,
+            "exact_path": self.exact_path,
+            "batch_calls": self.batch_calls,
+            "timeline_hits": self.timeline_hits,
+            "timeline_misses": self.timeline_misses,
+        }
+
+
+class PlacementEvaluator:
+    """Batched, caching scorer for one (problem, objective) pair.
+
+    Parameters
+    ----------
+    problem: the (G, N) instance every placement is scored against.
+    objective: performance criterion ρ; its ``deterministic`` flag
+        (see :mod:`repro.sim.objectives`) decides cache eligibility.
+    cache_size: LRU capacity of the placement → value cache.
+    timeline_cache_size: LRU capacity of the timeline cache (defaults
+        to min(cache_size, 512): a SimResult is orders of magnitude
+        heavier than a float, and timelines are only re-read within a
+        search episode's working set).
+    """
+
+    def __init__(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        cache_size: int = 4096,
+        timeline_cache_size: int | None = None,
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        if timeline_cache_size is None:
+            timeline_cache_size = min(cache_size, 512)
+        if timeline_cache_size < 1:
+            raise ValueError("timeline_cache_size must be >= 1")
+        self.problem = problem
+        self.objective = objective
+        self.cache_size = cache_size
+        self.timeline_cache_size = timeline_cache_size
+        # Unknown objectives conservatively count as non-deterministic:
+        # caching a sampled value would silently freeze its noise.
+        self.deterministic = bool(getattr(objective, "deterministic", False))
+        # Exact type check, not isinstance: a MakespanObjective subclass
+        # may override evaluate() (e.g. makespan + penalty), and routing
+        # it through the plain-makespan fast path would silently drop the
+        # override.  Subclasses still cache via the exact-evaluate path.
+        self._is_makespan = type(objective) is MakespanObjective
+        self._sim = FastSimulator(problem)
+        self._values: OrderedDict[tuple[int, ...], float] = OrderedDict()
+        self._timelines: OrderedDict[tuple[int, ...], SimResult] = OrderedDict()
+        self.stats = EvaluatorStats()
+
+    # -- timelines --------------------------------------------------------------------
+
+    def timeline(self, placement: Sequence[int]) -> SimResult:
+        """Noise-free schedule of ``placement`` (expectation timeline).
+
+        Always deterministic regardless of the objective's noise — this
+        is the timeline gpNet features are measured against — so it is
+        always cached.
+        """
+        key = self.problem.validate_placement(placement)
+        cached = self._timelines.get(key)
+        if cached is not None:
+            self._timelines.move_to_end(key)
+            self.stats.timeline_hits += 1
+            return cached
+        self.stats.timeline_misses += 1
+        result = self._sim.run(key, validate=False)
+        self._store(self._timelines, key, result)
+        return result
+
+    # -- scoring ----------------------------------------------------------------------
+
+    def evaluate(self, placement: Sequence[int]) -> float:
+        """Score one placement; cached when the objective allows it."""
+        key = self.problem.validate_placement(placement)
+        self.stats.evaluations += 1
+        if not self.deterministic:
+            self.stats.exact_path += 1
+            return self.objective.evaluate(self.problem.cost_model, key)
+        cached = self._values.get(key)
+        if cached is not None:
+            self._values.move_to_end(key)
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.cache_misses += 1
+        value = self._compute(key)
+        self._store(self._values, key, value)
+        return value
+
+    def evaluate_many(self, placements: Sequence[Sequence[int]]) -> np.ndarray:
+        """Score a batch; identical to ``[evaluate(p) for p in placements]``.
+
+        On the deterministic makespan path the uncached placements'
+        compute/communication costs are realized in one vectorized NumPy
+        pass before the per-placement event replay.
+        """
+        self.stats.batch_calls += 1
+        keys = [self.problem.validate_placement(p) for p in placements]
+        if not keys:
+            return np.zeros(0, dtype=np.float64)
+        self.stats.evaluations += len(keys)
+        if not self.deterministic:
+            self.stats.exact_path += len(keys)
+            cm = self.problem.cost_model
+            return np.array([self.objective.evaluate(cm, k) for k in keys], dtype=np.float64)
+
+        values = np.empty(len(keys), dtype=np.float64)
+        misses: dict[tuple[int, ...], list[int]] = {}
+        for i, key in enumerate(keys):
+            cached = self._values.get(key)
+            if cached is not None:
+                self._values.move_to_end(key)
+                self.stats.cache_hits += 1
+                values[i] = cached
+            else:
+                misses.setdefault(key, []).append(i)
+
+        if misses:
+            todo = list(misses)
+            # Within-batch duplicates are computed once: the first
+            # occurrence is a miss, every repeat a (warming-cache) hit.
+            self.stats.cache_misses += len(todo)
+            self.stats.cache_hits += sum(len(ix) - 1 for ix in misses.values())
+            if self._is_makespan:
+                batch = np.array(todo, dtype=np.int64)
+                compute, comm = self._sim.batch_costs(batch)
+                self.stats.fast_path += len(todo)
+                for j, key in enumerate(todo):
+                    result = self._sim.run(
+                        key, compute=compute[j], comm=comm[j], validate=False
+                    )
+                    # Only the scalar goes in the cache: batch callers score
+                    # one-shot candidates, and retaining a SimResult per
+                    # batch miss would churn the (heavier) timeline LRU
+                    # that timeline() consumers rely on.
+                    self._store(self._values, key, result.makespan)
+                    values[misses[key]] = result.makespan
+            else:
+                cm = self.problem.cost_model
+                self.stats.exact_path += len(todo)
+                for key in todo:
+                    value = self.objective.evaluate(cm, key)
+                    self._store(self._values, key, value)
+                    values[misses[key]] = value
+        return values
+
+    # -- internals --------------------------------------------------------------------
+
+    def _compute(self, key: tuple[int, ...]) -> float:
+        if self._is_makespan:
+            # Shares the timeline cache with gpNet feature construction.
+            self.stats.fast_path += 1
+            return self.timeline(key).makespan
+        self.stats.exact_path += 1
+        return self.objective.evaluate(self.problem.cost_model, key)
+
+    def _store(self, cache: OrderedDict, key: tuple[int, ...], value) -> None:
+        cache[key] = value
+        cache.move_to_end(key)
+        cap = self.timeline_cache_size if cache is self._timelines else self.cache_size
+        if len(cache) > cap:
+            cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop cached values/timelines (stats are kept)."""
+        self._values.clear()
+        self._timelines.clear()
+
+
+class EvaluatorPool:
+    """Per-problem :class:`PlacementEvaluator` memo for one objective.
+
+    Trainers sweep a problem distribution episode by episode; the pool
+    hands every episode of the same problem instance the same evaluator
+    so its caches keep paying off.  Keyed by object identity (the pool
+    holds the problem alive, so ids cannot be recycled underneath it).
+
+    The pool itself is LRU-bounded by ``max_problems`` so a long sweep
+    over a large problem distribution cannot pin one cache-laden
+    evaluator per instance forever; evicted problems simply start with
+    cold caches if they come around again (their stats are folded into
+    the pool's aggregate first).
+    """
+
+    def __init__(
+        self,
+        objective: Objective,
+        cache_size: int = 4096,
+        max_problems: int = 128,
+    ) -> None:
+        if max_problems < 1:
+            raise ValueError("max_problems must be >= 1")
+        self.objective = objective
+        self.cache_size = cache_size
+        self.max_problems = max_problems
+        self._by_problem: OrderedDict[int, PlacementEvaluator] = OrderedDict()
+        self._evicted_stats = EvaluatorStats()
+
+    def get(self, problem: PlacementProblem) -> PlacementEvaluator:
+        """The shared evaluator for ``problem`` (created on first use)."""
+        evaluator = self._by_problem.get(id(problem))
+        if evaluator is not None:
+            self._by_problem.move_to_end(id(problem))
+            return evaluator
+        evaluator = PlacementEvaluator(problem, self.objective, self.cache_size)
+        self._by_problem[id(problem)] = evaluator
+        if len(self._by_problem) > self.max_problems:
+            _, evicted = self._by_problem.popitem(last=False)
+            self._evicted_stats.merge(evicted.stats)
+        return evaluator
+
+    def stats(self) -> EvaluatorStats:
+        """Counters aggregated across every evaluator the pool has seen."""
+        total = EvaluatorStats()
+        total.merge(self._evicted_stats)
+        for evaluator in self._by_problem.values():
+            total.merge(evaluator.stats)
+        return total
+
+    def __len__(self) -> int:
+        return len(self._by_problem)

@@ -20,7 +20,17 @@ __all__ = ["Objective", "MakespanObjective", "TotalCostObjective", "EnergyObject
 
 
 class Objective(Protocol):
-    """A performance criterion; smaller values are better placements."""
+    """A performance criterion; smaller values are better placements.
+
+    ``deterministic`` declares whether repeated evaluations of the same
+    placement return the same value — the contract that lets
+    :class:`repro.runtime.PlacementEvaluator` cache results.  Noisy
+    objectives (which re-sample realizations per call) must report
+    ``False``; objectives lacking the attribute are treated as
+    non-deterministic.
+    """
+
+    deterministic: bool
 
     def evaluate(self, cost_model: CostModel, placement: Sequence[int]) -> float:
         """Score ``placement`` for the instance bound to ``cost_model``."""
@@ -44,6 +54,11 @@ class MakespanObjective:
         self.noise = noise
         self.rng = rng
 
+    @property
+    def deterministic(self) -> bool:
+        """Noise-free evaluations are repeatable (hence cacheable)."""
+        return self.noise == 0.0
+
     def evaluate(self, cost_model: CostModel, placement: Sequence[int]) -> float:
         result = simulate(
             cost_model.graph,
@@ -59,12 +74,16 @@ class MakespanObjective:
 class TotalCostObjective:
     """Σ compute + Σ communication cost (paper §B.8)."""
 
+    deterministic = True
+
     def evaluate(self, cost_model: CostModel, placement: Sequence[int]) -> float:
         return total_cost(cost_model, placement)
 
 
 class EnergyObjective:
     """Energy-weighted cost (paper Fig. 11 right)."""
+
+    deterministic = True
 
     def __init__(self, comm_power: float = 0.5) -> None:
         self.comm_power = comm_power

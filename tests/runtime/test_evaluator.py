@@ -1,0 +1,311 @@
+"""Correctness of the runtime scoring subsystem.
+
+The contract under test: every value produced by the batched/caching
+fast path is *bit-identical* to the seed scoring path (per-call
+``Objective.evaluate`` through ``sim.executor.simulate``), and the
+incremental ``GpNetBuilder.update`` equals a full ``build``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.env import PlacementEnv
+from repro.core.features import FeatureConfig, GpNetBuilder
+from repro.core.placement import PlacementProblem, random_placement
+from repro.devices import DeviceNetworkParams, generate_device_network
+from repro.graphs import TaskGraphParams, generate_task_graph
+from repro.runtime import EvaluatorPool, FastSimulator, PlacementEvaluator
+from repro.sim.executor import simulate
+from repro.sim.latency import CostModel
+from repro.sim.objectives import EnergyObjective, MakespanObjective, TotalCostObjective
+
+
+def make_problem(seed: int) -> PlacementProblem:
+    rng = np.random.default_rng(seed)
+    graph = generate_task_graph(
+        TaskGraphParams(
+            num_tasks=int(rng.integers(3, 18)),
+            connect_prob=float(rng.uniform(0.1, 0.6)),
+        ),
+        rng,
+    )
+    network = generate_device_network(
+        DeviceNetworkParams(num_devices=int(rng.integers(2, 8))), rng
+    )
+    return PlacementProblem(graph, network)
+
+
+# -- fast simulator ---------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fast_simulator_matches_executor_exactly(seed):
+    problem = make_problem(seed)
+    rng = np.random.default_rng(seed + 1)
+    sim = FastSimulator(problem)
+    for _ in range(3):
+        placement = random_placement(problem, rng)
+        exact = simulate(problem.graph, problem.network, placement, problem.cost_model)
+        fast = sim.run(placement)
+        assert fast.makespan == exact.makespan
+        assert (fast.start == exact.start).all()
+        assert (fast.finish == exact.finish).all()
+        assert fast.arrival == exact.arrival
+        assert (fast.device_last_finish == exact.device_last_finish).all()
+        assert fast.placement == exact.placement
+
+
+def test_fast_simulator_batch_costs_match_cost_model():
+    problem = make_problem(3)
+    cm = problem.cost_model
+    rng = np.random.default_rng(0)
+    sim = FastSimulator(problem)
+    placements = [random_placement(problem, rng) for _ in range(4)]
+    compute, comm = sim.batch_costs(np.array(placements))
+    for b, placement in enumerate(placements):
+        for i in range(problem.graph.num_tasks):
+            assert compute[b, i] == cm.compute_time(i, placement[i])
+        for k, edge in enumerate(problem.graph.edges):
+            u, v = edge
+            assert comm[b, k] == cm.comm_time(edge, placement[u], placement[v])
+
+
+def test_fast_simulator_rejects_infeasible_placement():
+    problem = make_problem(5)
+    sim = FastSimulator(problem)
+    bad = [problem.network.num_devices + 3] * problem.graph.num_tasks
+    with pytest.raises(ValueError):
+        sim.run(bad)
+
+
+# -- evaluator scoring ------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_evaluate_many_bit_identical_to_objective_loop(seed):
+    problem = make_problem(seed)
+    rng = np.random.default_rng(seed + 2)
+    objective = MakespanObjective()
+    evaluator = PlacementEvaluator(problem, objective)
+    placements = [random_placement(problem, rng) for _ in range(6)]
+    placements += placements[:3]  # duplicates exercise the cache
+    expected = np.array(
+        [objective.evaluate(problem.cost_model, p) for p in placements]
+    )
+    got = evaluator.evaluate_many(placements)
+    assert (got == expected).all()
+    # Singles agree with the batch (and hit the now-warm cache).
+    for p, want in zip(placements, expected):
+        assert evaluator.evaluate(p) == want
+    assert evaluator.stats.cache_hits > 0
+
+
+def test_evaluator_deterministic_objectives_cache():
+    problem = make_problem(11)
+    rng = np.random.default_rng(1)
+    placement = random_placement(problem, rng)
+    for objective in (MakespanObjective(), TotalCostObjective(), EnergyObjective()):
+        evaluator = PlacementEvaluator(problem, objective)
+        first = evaluator.evaluate(placement)
+        second = evaluator.evaluate(placement)
+        assert first == second == objective.evaluate(problem.cost_model, placement)
+        assert evaluator.stats.cache_hits == 1
+        assert evaluator.stats.cache_misses == 1
+
+
+def test_evaluator_noisy_objective_bypasses_cache():
+    problem = make_problem(13)
+    rng = np.random.default_rng(2)
+    placement = random_placement(problem, rng)
+    noisy = MakespanObjective(noise=0.3, rng=np.random.default_rng(42))
+    reference = MakespanObjective(noise=0.3, rng=np.random.default_rng(42))
+    assert not noisy.deterministic
+    evaluator = PlacementEvaluator(problem, noisy)
+    values = [evaluator.evaluate(placement) for _ in range(4)]
+    expected = [reference.evaluate(problem.cost_model, placement) for _ in range(4)]
+    assert values == expected  # same rng stream as the direct path
+    assert len(set(values)) > 1  # noise resampled per call, not cached
+    assert evaluator.stats.cache_hits == 0
+    # the batch API walks the same per-call path in order
+    noisy2 = MakespanObjective(noise=0.3, rng=np.random.default_rng(42))
+    batch = PlacementEvaluator(problem, noisy2).evaluate_many([placement] * 4)
+    assert batch.tolist() == expected
+
+
+def test_evaluator_timeline_cached_and_exact():
+    problem = make_problem(17)
+    rng = np.random.default_rng(3)
+    placement = random_placement(problem, rng)
+    evaluator = PlacementEvaluator(problem, MakespanObjective())
+    t1 = evaluator.timeline(placement)
+    t2 = evaluator.timeline(placement)
+    assert t1 is t2
+    exact = simulate(problem.graph, problem.network, placement, problem.cost_model)
+    assert t1.makespan == exact.makespan
+    assert evaluator.stats.timeline_hits == 1
+
+
+def test_evaluator_lru_eviction_and_validation():
+    problem = make_problem(19)
+    rng = np.random.default_rng(4)
+    evaluator = PlacementEvaluator(problem, MakespanObjective(), cache_size=2)
+    a, b, c = (random_placement(problem, rng) for _ in range(3))
+    evaluator.evaluate(a)
+    evaluator.evaluate(b)
+    evaluator.evaluate(c)  # evicts a
+    evaluator.evaluate(a)
+    assert evaluator.stats.cache_misses == 4
+    with pytest.raises(ValueError):
+        evaluator.evaluate([0] * (problem.graph.num_tasks + 1))
+    with pytest.raises(ValueError):
+        PlacementEvaluator(problem, MakespanObjective(), cache_size=0)
+    assert len(evaluator.evaluate_many([])) == 0
+
+
+def test_evaluator_does_not_fast_path_makespan_subclasses():
+    """A deterministic MakespanObjective subclass with an overridden
+    evaluate() must score through its own evaluate, not the plain-makespan
+    timeline fast path (which would silently drop the override)."""
+
+    class PenalizedMakespan(MakespanObjective):
+        def evaluate(self, cost_model, placement):
+            return super().evaluate(cost_model, placement) + 1000.0
+
+    problem = make_problem(37)
+    rng = np.random.default_rng(9)
+    placement = random_placement(problem, rng)
+    objective = PenalizedMakespan()
+    evaluator = PlacementEvaluator(problem, objective)
+    expected = objective.evaluate(problem.cost_model, placement)
+    assert evaluator.evaluate(placement) == expected
+    assert evaluator.evaluate_many([placement])[0] == expected
+    assert evaluator.evaluate(placement) == expected  # cached, still penalized
+    assert evaluator.stats.fast_path == 0
+
+
+def test_evaluator_pool_identity_eviction_and_stats():
+    objective = MakespanObjective()
+    problems = [make_problem(40 + k) for k in range(3)]
+    rng = np.random.default_rng(8)
+    pool = EvaluatorPool(objective, max_problems=2)
+    first = pool.get(problems[0])
+    assert pool.get(problems[0]) is first
+    first.evaluate(random_placement(problems[0], rng))
+    pool.get(problems[1])
+    pool.get(problems[2])  # evicts problems[0]'s evaluator...
+    assert len(pool) == 2
+    assert pool.get(problems[0]) is not first  # ...which restarts cold
+    assert pool.stats().evaluations == 1  # evicted counters are retained
+    with pytest.raises(ValueError):
+        EvaluatorPool(objective, max_problems=0)
+
+
+# -- incremental gpNet updates ----------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), potential=st.booleans())
+def test_gpnet_update_equals_full_build(seed, potential):
+    problem = make_problem(seed)
+    rng = np.random.default_rng(seed + 3)
+    config = FeatureConfig(use_start_time_potential=potential)
+    incremental = GpNetBuilder(problem, config)
+    reference = GpNetBuilder(problem, config)
+    placement = list(random_placement(problem, rng))
+    current = incremental.build(placement)
+    for _ in range(8):
+        task = int(rng.integers(0, problem.graph.num_tasks))
+        placement[task] = int(rng.choice(list(problem.feasible_sets[task])))
+        current = incremental.update(current, tuple(placement), task)
+        fresh = reference.build(tuple(placement))
+        assert current.placement == fresh.placement
+        for name in (
+            "task_of",
+            "device_of",
+            "is_pivot",
+            "edge_src",
+            "edge_dst",
+            "node_features",
+            "edge_features",
+        ):
+            assert (getattr(current, name) == getattr(fresh, name)).all(), name
+        assert all((x == y).all() for x, y in zip(current.options, fresh.options))
+
+
+def test_gpnet_update_falls_back_without_raw_state():
+    problem = make_problem(23)
+    rng = np.random.default_rng(5)
+    builder = GpNetBuilder(problem)
+    p1 = list(random_placement(problem, rng))
+    net1 = builder.build(p1)
+    # Build a different placement in between: the raw cache no longer
+    # matches net1, so update must fall back to a full rebuild.
+    p2 = list(random_placement(problem, rng))
+    builder.build(p2)
+    task = int(rng.integers(0, problem.graph.num_tasks))
+    p1[task] = int(rng.choice(list(problem.feasible_sets[task])))
+    updated = builder.update(net1, tuple(p1), task)
+    fresh = GpNetBuilder(problem).build(tuple(p1))
+    assert (updated.node_features == fresh.node_features).all()
+    assert (updated.edge_features == fresh.edge_features).all()
+
+
+def test_gpnet_update_noop_returns_previous():
+    problem = make_problem(29)
+    rng = np.random.default_rng(6)
+    builder = GpNetBuilder(problem)
+    placement = random_placement(problem, rng)
+    net = builder.build(placement)
+    assert builder.update(net, placement, moved_task=0) is net
+
+
+# -- env integration --------------------------------------------------------------------
+
+
+def test_env_shared_evaluator_and_binding_checks():
+    problem = make_problem(31)
+    objective = MakespanObjective()
+    evaluator = PlacementEvaluator(problem, objective)
+    rng = np.random.default_rng(7)
+    env = PlacementEnv(problem, objective, evaluator=evaluator)
+    state = env.reset(rng=rng)
+    exact = objective.evaluate(problem.cost_model, state.placement)
+    assert state.objective_value == exact
+    for _ in range(4):
+        mask = env.action_mask()
+        action = int(np.flatnonzero(mask)[0])
+        state, reward, _ = env.step(action)
+        assert state.objective_value == objective.evaluate(
+            problem.cost_model, state.placement
+        )
+    assert evaluator.stats.evaluations >= 5
+    other = PlacementEvaluator(problem, MakespanObjective())
+    with pytest.raises(ValueError):
+        PlacementEnv(problem, objective, evaluator=other)
+
+
+# -- CostModel.realize edge cases -------------------------------------------------------
+
+
+def test_realize_edge_cases():
+    rng = np.random.default_rng(0)
+    # noise == 0: expectation passes through untouched, rng unused.
+    assert CostModel.realize(3.5, 0.0, None) == 3.5
+    assert CostModel.realize(3.5, 0.0, rng) == 3.5
+    # zero expectation stays exactly zero even under noise.
+    assert CostModel.realize(0.0, 0.5, rng) == 0.0
+    # no rng: falls back to the expectation.
+    assert CostModel.realize(2.0, 0.5, None) == 2.0
+    # invalid noise levels raise once they would matter.
+    with pytest.raises(ValueError):
+        CostModel.realize(2.0, 1.5, rng)
+    with pytest.raises(ValueError):
+        CostModel.realize(2.0, -0.1, rng)
+    # valid noise stays within the ±noise band around the expectation.
+    for _ in range(50):
+        value = CostModel.realize(2.0, 0.25, rng)
+        assert 1.5 <= value <= 2.5
