@@ -10,6 +10,7 @@ Subpackages
 * :mod:`repro.runtime` — batched/caching placement scoring (PlacementEvaluator).
 * :mod:`repro.core` — GiPH itself: gpNet, MDP, GNNs, policy, REINFORCE.
 * :mod:`repro.baselines` — HEFT, EFT hybrids, Placeto, RNN placer.
+* :mod:`repro.scenarios` — declarative dynamic-cluster scenarios + replay.
 * :mod:`repro.casestudy` — CAV sensor-fusion case study.
 * :mod:`repro.experiments` — runners regenerating every paper table/figure.
 
@@ -40,6 +41,7 @@ from .core import (
     run_search,
 )
 from .runtime import EvaluatorStats, PlacementEvaluator
+from .scenarios import DEFAULT_REGISTRY, AdaptationReport, ScenarioRunner, ScenarioSpec
 from .sim import EnergyObjective, MakespanObjective, TotalCostObjective, simulate
 
 __version__ = "1.0.0"
@@ -58,5 +60,9 @@ __all__ = [
     "TotalCostObjective",
     "EnergyObjective",
     "simulate",
+    "ScenarioSpec",
+    "ScenarioRunner",
+    "AdaptationReport",
+    "DEFAULT_REGISTRY",
     "__version__",
 ]

@@ -1,16 +1,17 @@
 """Baseline placement algorithms evaluated against GiPH (paper §5)."""
 
-from .base import SearchPolicy, trace_from_values
+from .base import AdaptivePolicy, SearchPolicy, trace_from_values
 from .eft import eft_device, eft_estimates
 from .giph_policy import GiPHSearchPolicy
 from .heft import HeftSchedule, heft_placement, upward_ranks
 from .placeto import PlacetoAgent, PlacetoTrainer, placeto_node_features
 from .random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
-from .rnn_placer import RnnPlacer, RnnPlacerResult, operator_embeddings
+from .rnn_placer import RnnPlacer, RnnPlacerPolicy, RnnPlacerResult, operator_embeddings
 from .task_eft import TaskEftAgent, TaskEftTrainer, build_task_view
 
 __all__ = [
     "SearchPolicy",
+    "AdaptivePolicy",
     "trace_from_values",
     "eft_device",
     "eft_estimates",
@@ -24,6 +25,7 @@ __all__ = [
     "RandomPlacementPolicy",
     "RandomTaskEftPolicy",
     "RnnPlacer",
+    "RnnPlacerPolicy",
     "RnnPlacerResult",
     "operator_embeddings",
     "TaskEftAgent",

@@ -16,7 +16,7 @@ from ..core.search import SearchTrace
 from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
 
-__all__ = ["SearchPolicy", "make_evaluator", "trace_from_values"]
+__all__ = ["SearchPolicy", "AdaptivePolicy", "make_evaluator", "trace_from_values"]
 
 
 class SearchPolicy(Protocol):
@@ -26,6 +26,10 @@ class SearchPolicy(Protocol):
     (problem, objective) pair — the experiment harness passes one per
     case so it can batch evaluations and report cache statistics; a
     policy creates its own when none is given.
+
+    ``adapt`` is the streaming hook the scenario engine calls before
+    re-placement with each :class:`repro.scenarios.ScenarioEvent`;
+    stateless policies inherit the no-op from :class:`AdaptivePolicy`.
     """
 
     name: str
@@ -40,6 +44,23 @@ class SearchPolicy(Protocol):
         evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
         ...
+
+    def adapt(self, event: object) -> None:
+        ...
+
+
+class AdaptivePolicy:
+    """Default streaming-adaptation behavior for search policies.
+
+    The scenario engine (:mod:`repro.scenarios`) announces every cluster
+    or workload change through ``adapt(event)`` before asking the policy
+    to re-place.  Policies that keep per-cluster state (retrainable
+    placers, device statistics) override this; search-only policies
+    inherit the no-op.
+    """
+
+    def adapt(self, event: object) -> None:
+        return None
 
 
 def make_evaluator(

@@ -12,11 +12,12 @@ from ..core.placement import PlacementProblem
 from ..core.search import SearchTrace, run_search
 from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
+from .base import AdaptivePolicy
 
 __all__ = ["GiPHSearchPolicy"]
 
 
-class GiPHSearchPolicy:
+class GiPHSearchPolicy(AdaptivePolicy):
     """Wraps a (trained) :class:`GiPHAgent` for the experiment harness."""
 
     def __init__(

@@ -30,7 +30,7 @@ from ..nn import MLP, Adam, Linear, Module, Parameter, Tensor, concat, no_grad
 from ..nn import functional as F
 from ..runtime.evaluator import EvaluatorPool, PlacementEvaluator
 from ..sim.objectives import Objective
-from .base import make_evaluator, trace_from_values
+from .base import AdaptivePolicy, make_evaluator, trace_from_values
 
 __all__ = ["PlacetoAgent", "PlacetoTrainer", "placeto_node_features"]
 
@@ -114,7 +114,7 @@ class _PlacetoEmbedding(Module):
         return concat([node, parents, children, pooled], axis=1)
 
 
-class PlacetoAgent:
+class PlacetoAgent(AdaptivePolicy):
     """Placeto: single-visit node traversal with a per-device softmax head.
 
     ``num_devices`` is baked into the policy head — the architectural

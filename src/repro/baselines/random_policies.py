@@ -10,13 +10,13 @@ from ..core.placement import PlacementProblem, random_placement
 from ..core.search import SearchTrace
 from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
-from .base import make_evaluator, trace_from_values
+from .base import AdaptivePolicy, make_evaluator, trace_from_values
 from .eft import eft_device
 
 __all__ = ["RandomPlacementPolicy", "RandomTaskEftPolicy"]
 
 
-class RandomPlacementPolicy:
+class RandomPlacementPolicy(AdaptivePolicy):
     """Random placement sampling: a fresh uniform feasible placement per
     step — "representative of the average placement quality".
 
@@ -43,7 +43,7 @@ class RandomPlacementPolicy:
         return trace_from_values(placements, values.tolist(), problem.graph.num_tasks)
 
 
-class RandomTaskEftPolicy:
+class RandomTaskEftPolicy(AdaptivePolicy):
     """Random task selection + EFT device selection: HEFT adapted into a
     search policy — pick a uniformly random task each step and relocate
     it to its earliest-finish-time device."""

@@ -20,11 +20,14 @@ from typing import Sequence
 import numpy as np
 
 from ..core.placement import PlacementProblem
+from ..core.search import SearchTrace
 from ..nn import Adam, AdditiveAttention, BiLSTM, Linear, LSTMCell, Tensor, concat, no_grad
 from ..nn import functional as F
+from ..runtime.evaluator import PlacementEvaluator
 from ..sim.objectives import Objective
+from .base import AdaptivePolicy, make_evaluator, trace_from_values
 
-__all__ = ["RnnPlacer", "RnnPlacerResult", "operator_embeddings"]
+__all__ = ["RnnPlacer", "RnnPlacerResult", "RnnPlacerPolicy", "operator_embeddings"]
 
 
 def operator_embeddings(problem: PlacementProblem) -> np.ndarray:
@@ -173,3 +176,49 @@ class RnnPlacer:
         with no_grad():
             placement, _ = self.sample_placement(greedy=greedy)
         return placement
+
+
+class RnnPlacerPolicy(AdaptivePolicy):
+    """The RNN placer through the :class:`SearchPolicy` protocol.
+
+    Because the model is per-instance (encoder dims depend on the graph,
+    the decoder head on the device count), ``search`` trains a *fresh*
+    placer on each problem — the paper's "w/ retraining" adaptivity
+    baseline (Fig. 6), and the correct behavior under the scenario
+    engine's ``adapt(event)`` streaming: every cluster change forces a
+    retrain.
+    """
+
+    name = "rnn-placer"
+
+    def __init__(
+        self,
+        samples_per_update: int = 4,
+        max_updates: int = 8,
+        patience: int = 3,
+    ) -> None:
+        self.samples_per_update = samples_per_update
+        self.max_updates = max_updates
+        self.patience = patience
+
+    def search(
+        self,
+        problem: PlacementProblem,
+        objective: Objective,
+        initial_placement: Sequence[int],
+        episode_length: int,
+        rng: np.random.Generator,
+        evaluator: PlacementEvaluator | None = None,
+    ) -> SearchTrace:
+        evaluator = make_evaluator(problem, objective, evaluator)
+        placer = RnnPlacer(problem, rng)
+        fit = placer.fit(
+            objective,
+            samples_per_update=self.samples_per_update,
+            max_updates=self.max_updates,
+            patience=self.patience,
+        )
+        initial = problem.validate_placement(initial_placement)
+        placements = [initial] + [fit.best_placement] * episode_length
+        values = [evaluator.evaluate(initial)] + [fit.best_value] * episode_length
+        return trace_from_values(placements, values, problem.graph.num_tasks)

@@ -23,7 +23,7 @@ from ..nn import Adam, Parameter, Tensor, no_grad
 from ..runtime.evaluator import EvaluatorPool, PlacementEvaluator
 from ..sim.executor import SimResult, simulate
 from ..sim.objectives import Objective
-from .base import make_evaluator, trace_from_values
+from .base import AdaptivePolicy, make_evaluator, trace_from_values
 from .eft import eft_device
 
 __all__ = ["build_task_view", "TaskEftAgent", "TaskEftTrainer"]
@@ -89,7 +89,7 @@ def build_task_view(
     )
 
 
-class TaskEftAgent:
+class TaskEftAgent(AdaptivePolicy):
     """Task-selection policy with EFT device selection."""
 
     name = "giph-task-eft"

@@ -65,6 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", default=None, choices=["quick", "paper"])
     exp.add_argument("--seed", type=int, default=0)
 
+    scen = sub.add_parser(
+        "scenario", help="replay a dynamic-cluster scenario (see repro.scenarios)"
+    )
+    scen.add_argument("action", nargs="?", choices=["list", "run"], default="list",
+                      help="'list' registered presets or 'run' one")
+    scen.add_argument("name", nargs="?", help="preset name (required for run)")
+    scen.add_argument("--list", action="store_true", dest="list_presets",
+                      help="list registered scenario presets")
+    scen.add_argument("--policy", action="append", dest="policies",
+                      choices=["random", "task-eft", "heft", "rnn-placer"],
+                      help="policy to replay (repeatable; default: random + task-eft)")
+    scen.add_argument("--seed", type=int, default=None,
+                      help="override the preset's seed")
+    scen.add_argument("--events", action="store_true",
+                      help="print the materialized event stream before replaying")
+    scen.add_argument("--cold-evaluators", action="store_true",
+                      help="disable cross-event evaluator reuse (benchmark mode)")
+
     return parser
 
 
@@ -185,6 +203,62 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from .scenarios import DEFAULT_REGISTRY, ScenarioRunner, describe_events, format_adaptation_table
+
+    if args.list_presets or args.action == "list":
+        print(f"{'name':<24s} {'devices':>7s} {'changes':>7s} {'graphs':>6s}  description")
+        for spec in DEFAULT_REGISTRY:
+            print(
+                f"{spec.name:<24s} {spec.cluster.num_devices:>7d} "
+                f"{spec.churn.num_changes:>7d} "
+                f"{spec.workload.initial_graphs + spec.workload.total_arrivals:>6d}  "
+                f"{spec.description}"
+            )
+        print("\nrun one with: repro scenario run <name> --policy task-eft")
+        return 0
+
+    if not args.name:
+        print("error: 'repro scenario run' needs a preset name "
+              "(see 'repro scenario --list')")
+        return 2
+    try:
+        spec = DEFAULT_REGISTRY.get(args.name, seed=args.seed)
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+    runner = ScenarioRunner(spec, reuse_evaluators=not args.cold_evaluators)
+    materialized = runner.materialized
+    print(f"scenario {spec.name!r} (seed {spec.seed}, objective {spec.objective}): "
+          f"{materialized.num_events} events over {spec.num_steps} steps, "
+          f"{materialized.initial_network.num_devices} devices, "
+          f"{len(materialized.initial_graphs)} initial graphs")
+    if spec.description:
+        print(f"  {spec.description}")
+    if args.events:
+        for line in describe_events(materialized.events):
+            print(f"  {line}")
+
+    result = runner.run(_scenario_policies(args.policies or ["random", "task-eft"]))
+    for report in result.reports.values():
+        print()
+        print(format_adaptation_table(report))
+    return 0
+
+
+def _scenario_policies(names: list[str]):
+    from .baselines import RandomPlacementPolicy, RandomTaskEftPolicy, RnnPlacerPolicy
+    from .experiments.runner import HeftPolicy
+
+    factories = {
+        "random": RandomPlacementPolicy,
+        "task-eft": RandomTaskEftPolicy,
+        "heft": HeftPolicy,
+        "rnn-placer": RnnPlacerPolicy,
+    }
+    return {name: factories[name]() for name in dict.fromkeys(names)}
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
 
@@ -204,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
         "test": cmd_test,
         "generate": cmd_generate,
         "experiment": cmd_experiment,
+        "scenario": cmd_scenario,
     }
     return handlers[args.command](args)
 

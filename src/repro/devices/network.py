@@ -8,6 +8,7 @@ communication cost, as the paper prescribes.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -164,6 +165,38 @@ class DeviceNetwork:
         bw[m, m] = np.inf
         dl[m, m] = 0.0
         return DeviceNetwork([*self.devices, device], bw, dl, name=self.name)
+
+    def with_device_speed(self, uid: int, speed: float) -> "DeviceNetwork":
+        """Return a copy with device ``uid``'s compute speed replaced."""
+        if uid not in self._uid_to_index:
+            raise KeyError(f"device uid {uid} not in network")
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        devices = [
+            dataclasses.replace(d, speed=float(speed)) if d.uid == uid else d
+            for d in self.devices
+        ]
+        return DeviceNetwork(devices, self.bandwidth, self.delay, name=self.name)
+
+    def with_bandwidth_scaled(self, factor: float, uid: int | None = None) -> "DeviceNetwork":
+        """Return a copy with off-diagonal bandwidths multiplied by ``factor``.
+
+        With ``uid`` only the links touching that device are scaled (a
+        congested or recovering uplink); without it every link drifts.
+        The (infinite) diagonal is untouched — local transfer stays free.
+        """
+        if factor <= 0:
+            raise ValueError("bandwidth factor must be positive")
+        bw = self.bandwidth.copy()
+        off = ~np.eye(self.num_devices, dtype=bool)
+        if uid is None:
+            bw[off] *= factor
+        else:
+            k = self.index_of(uid)
+            touches = np.zeros_like(off)
+            touches[k, :] = touches[:, k] = True
+            bw[touches & off] *= factor
+        return DeviceNetwork(self.devices, bw, self.delay, name=self.name)
 
     def __repr__(self) -> str:
         return f"DeviceNetwork(name={self.name!r}, devices={self.num_devices})"

@@ -1,12 +1,17 @@
 """Figure 6: adaptivity to device-network changes.
 
 A cluster starts at full strength; devices are randomly removed and
-replaced by lower-capacity ones (§5).  After each change every policy
-re-places a fixed set of application graphs on the *new* network without
-retraining — except the RNN placer, which is retrained per change, and
-HEFT, which is recomputed per change (it is an algorithm, not a learned
-policy).  Expected shape: GiPH stays near HEFT; Placeto drifts to or
-below random; random degrades as high-cost devices accumulate.
+replaced by lower-capacity ones (§5).  The sweep is expressed as a
+scenario (:mod:`repro.scenarios`) replayed by the streaming
+:class:`~repro.scenarios.ScenarioRunner`: after each churn event every
+policy re-places the application graphs on the *new* network from its
+carried placement, without retraining — except the RNN placer, which is
+retrained per change (:class:`~repro.baselines.RnnPlacerPolicy`), and
+HEFT, which is recomputed per change.  Expected shape: GiPH stays near
+HEFT; Placeto drifts to or below random; random degrades as high-cost
+devices accumulate.  On top of the seed version's SLR series, the
+scenario engine also reports migration bills and regret against a
+fresh-search oracle.
 """
 
 from __future__ import annotations
@@ -15,80 +20,87 @@ import numpy as np
 
 from ..baselines.giph_policy import GiPHSearchPolicy
 from ..baselines.random_policies import RandomPlacementPolicy
-from ..baselines.rnn_placer import RnnPlacer
+from ..baselines.rnn_placer import RnnPlacerPolicy
 from ..core.placement import PlacementProblem
-from ..devices.dynamics import ChurnConfig, network_churn
-from ..devices.generator import DeviceNetworkParams, generate_device_network
-from ..graphs.generator import TaskGraphParams, generate_task_graph
-from ..sim.metrics import cp_min_lower_bound
-from ..sim.objectives import MakespanObjective
+from ..devices.dynamics import ChurnConfig
+from ..scenarios import ClusterSpec, ScenarioRunner, ScenarioSpec, WorkloadSpec, materialize
 from .base import ExperimentReport
 from .config import Scale
 from .reporting import banner, format_series
-from .runner import HeftPolicy, evaluate_policies, train_giph, train_placeto, train_task_eft
+from .runner import HeftPolicy, train_giph, train_placeto, train_task_eft
 
-__all__ = ["run"]
+__all__ = ["run", "adaptivity_spec"]
+
+POLICIES = ("giph", "giph-task-eft", "placeto", "random", "rnn-placer", "heft")
+
+
+def adaptivity_spec(scale: Scale, seed: int = 0) -> ScenarioSpec:
+    """The Fig. 6 protocol as a declarative scenario."""
+    return ScenarioSpec(
+        name="fig6-adaptivity",
+        seed=seed,
+        workload=WorkloadSpec(
+            initial_graphs=scale.adapt_graphs, num_tasks=scale.num_tasks
+        ),
+        cluster=ClusterSpec(num_devices=scale.adapt_devices, support_prob=0.7),
+        churn=ChurnConfig(
+            min_devices=scale.adapt_min_devices,
+            max_devices=scale.adapt_devices,
+            num_changes=scale.adapt_changes,
+        ),
+        description="paper Fig. 6: churn between full and reduced capacity",
+    )
 
 
 def run(scale: Scale, seed: int = 0) -> ExperimentReport:
     rng = np.random.default_rng(seed)
-    network = generate_device_network(
-        DeviceNetworkParams(num_devices=scale.adapt_devices, support_prob=0.7), rng
-    )
-    graphs = [
-        generate_task_graph(TaskGraphParams(num_tasks=scale.num_tasks), rng)
-        for _ in range(scale.adapt_graphs)
-    ]
+    materialized = materialize(adaptivity_spec(scale, seed))
 
     # Learned policies trained once, on the initial network only.
-    train_problems = [PlacementProblem(g, network) for g in graphs]
+    train_problems = [
+        PlacementProblem(g, materialized.initial_network) for g in materialized.initial_graphs
+    ]
     giph_policy = GiPHSearchPolicy(train_giph(train_problems, rng, scale.episodes))
     task_eft = train_task_eft(train_problems, rng, scale.episodes)
     placeto = train_placeto(train_problems, rng, scale.episodes)
 
-    churn = ChurnConfig(
-        min_devices=scale.adapt_min_devices,
-        max_devices=scale.adapt_devices,
-        num_changes=scale.adapt_changes,
+    result = ScenarioRunner(materialized).run(
+        {
+            "giph": giph_policy,
+            "giph-task-eft": task_eft,
+            "placeto": placeto,
+            "random": RandomPlacementPolicy(),
+            # Retrained from scratch on every change (the paper's
+            # "w/ retraining" baseline).
+            "rnn-placer": RnnPlacerPolicy(samples_per_update=4, max_updates=8, patience=3),
+            "heft": HeftPolicy(),
+        }
     )
 
-    policy_names = ["giph", "giph-task-eft", "placeto", "random", "rnn-placer", "heft"]
-    slr_by_change: dict[str, list[float]] = {n: [] for n in policy_names}
+    slr_by_change = {name: result.slr_series(name) for name in POLICIES}
+    migration_by_change = {
+        name: result.reports[name].series("migration_cost_ms") for name in POLICIES
+    }
+    regret_by_change = {name: result.reports[name].series("regret") for name in POLICIES}
 
-    objective = MakespanObjective()
-    for event in network_churn(network, churn, rng):
-        problems = [PlacementProblem(g, event.network) for g in graphs]
-        result = evaluate_policies(
-            {
-                "giph": giph_policy,
-                "giph-task-eft": task_eft,
-                "placeto": placeto,
-                "random": RandomPlacementPolicy(),
-                "heft": HeftPolicy(),
-            },
-            problems,
-            rng,
-        )
-        for name in ("giph", "giph-task-eft", "placeto", "random", "heft"):
-            slr_by_change[name].append(result.mean_final(name))
-
-        # RNN placer: retrained from scratch on every change (the paper's
-        # "w/ retraining" baseline).
-        rnn_slrs = []
-        for problem in problems:
-            placer = RnnPlacer(problem, np.random.default_rng(rng.integers(0, 2**63)))
-            fit = placer.fit(objective, samples_per_update=4, max_updates=8, patience=3)
-            rnn_slrs.append(fit.best_value / cp_min_lower_bound(problem.cost_model))
-        slr_by_change["rnn-placer"].append(float(np.mean(rnn_slrs)))
-
+    x = list(range(1, len(slr_by_change["giph"]) + 1))
     text = "\n".join(
         [
             banner("Fig. 6: adaptivity to device network changes"),
             format_series(
                 slr_by_change,
-                x=list(range(1, len(slr_by_change["giph"]) + 1)),
+                x=x,
                 x_label="network change #",
                 title="average SLR after each change (no retraining except rnn-placer)",
+            ),
+            "",
+            "adaptation summary (scenario engine):",
+            *(
+                f"  {name:<14s} mean regret {result.reports[name].mean_regret:+.3f}, "
+                f"{result.reports[name].total_migrated_tasks:4d} migrations, "
+                f"{result.reports[name].total_migration_cost_ms:9.1f} ms migration cost, "
+                f"cache hit rate {result.reports[name].evaluator_stats.get('hit_rate', 0.0):.2f}"
+                for name in POLICIES
             ),
         ]
     )
@@ -96,5 +108,10 @@ def run(scale: Scale, seed: int = 0) -> ExperimentReport:
         experiment_id="fig6",
         title="Adaptivity to device network changes",
         text=text,
-        data={"slr_by_change": slr_by_change},
+        data={
+            "slr_by_change": slr_by_change,
+            "migration_by_change": migration_by_change,
+            "regret_by_change": regret_by_change,
+            "oracle_slr": list(result.oracle_slr),
+        },
     )

@@ -14,7 +14,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..baselines.base import SearchPolicy, make_evaluator, trace_from_values
+from ..baselines.base import AdaptivePolicy, SearchPolicy, make_evaluator, trace_from_values
 from ..baselines.heft import heft_placement
 from ..baselines.placeto import PlacetoAgent, PlacetoTrainer
 from ..baselines.task_eft import TaskEftAgent, TaskEftTrainer
@@ -37,7 +37,7 @@ __all__ = [
 ]
 
 
-class HeftPolicy:
+class HeftPolicy(AdaptivePolicy):
     """HEFT wrapped as a (static) search policy: its placement is
     computed once and reported as a constant best-so-far curve."""
 

@@ -1,0 +1,140 @@
+"""Per-step adaptation accounting emitted by the scenario runner.
+
+An :class:`AdaptationReport` is the scenario-engine analogue of an
+experiment report: for one policy replaying one scenario it records, per
+event, the achieved objective (and SLR), the regret against a
+fresh-search oracle, the migration bill charged by the relocation cost
+model, the re-placement latency, and the evaluator cache economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["StepRecord", "AdaptationReport", "format_adaptation_table"]
+
+#: StepRecord fields that are wall-clock measurements: excluded from the
+#: determinism-checked serialization (bit-identical replays still differ
+#: in how long they took).
+TIMING_FIELDS = ("replace_seconds",)
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Outcome of re-placing every active graph after one event.
+
+    ``mean_value`` is the raw objective averaged over active graphs;
+    ``mean_slr`` normalizes by the CP_MIN lower bound for makespan
+    scenarios (and equals ``mean_value`` otherwise).  ``regret`` is
+    ``mean_slr - oracle_slr``: how far the adapted placement lags a
+    fresh search (HEFT ∧ random-task-EFT) given the same budget.
+    """
+
+    index: int
+    step: int
+    kind: str
+    num_graphs: int
+    num_devices: int
+    mean_value: float
+    mean_slr: float
+    oracle_slr: float
+    regret: float
+    migrated_tasks: int
+    migration_cost_ms: float
+    amortized_migration_ms: float
+    replace_seconds: float
+    evaluations: int
+    cache_hit_rate: float
+
+
+@dataclass(frozen=True)
+class AdaptationReport:
+    """One policy's trajectory through one scenario."""
+
+    scenario: str
+    policy: str
+    seed: int
+    objective: str
+    steps: tuple[StepRecord, ...]
+    evaluator_stats: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_slr(self) -> float:
+        return float(np.mean([s.mean_slr for s in self.steps])) if self.steps else 0.0
+
+    @property
+    def mean_regret(self) -> float:
+        return float(np.mean([s.regret for s in self.steps])) if self.steps else 0.0
+
+    @property
+    def total_migrated_tasks(self) -> int:
+        return int(sum(s.migrated_tasks for s in self.steps))
+
+    @property
+    def total_migration_cost_ms(self) -> float:
+        return float(sum(s.migration_cost_ms for s in self.steps))
+
+    @property
+    def total_replace_seconds(self) -> float:
+        return float(sum(s.replace_seconds for s in self.steps))
+
+    def series(self, field_name: str) -> list[float]:
+        """One StepRecord field as a time series (e.g. ``"mean_slr"``)."""
+        return [getattr(s, field_name) for s in self.steps]
+
+    def as_dict(self, include_timing: bool = False) -> dict[str, Any]:
+        """JSON-safe dict; deterministic across replays by default.
+
+        Wall-clock fields (and the stats derived from them) are omitted
+        unless ``include_timing`` — they are the only report content two
+        bit-identical replays can disagree on.
+        """
+        steps = []
+        for record in self.steps:
+            row = {
+                name: getattr(record, name)
+                for name in record.__dataclass_fields__
+                if include_timing or name not in TIMING_FIELDS
+            }
+            steps.append(row)
+        return {
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "seed": self.seed,
+            "objective": self.objective,
+            "steps": steps,
+            "summary": {
+                "mean_slr": self.mean_slr,
+                "mean_regret": self.mean_regret,
+                "total_migrated_tasks": self.total_migrated_tasks,
+                "total_migration_cost_ms": self.total_migration_cost_ms,
+                "evaluator_stats": dict(self.evaluator_stats),
+            },
+        }
+
+
+def format_adaptation_table(report: AdaptationReport) -> str:
+    """Printable per-step trajectory for the CLI."""
+    header = (
+        f"{'ev':>3s} {'step':>4s} {'kind':<17s} {'dev':>3s} {'G':>2s} "
+        f"{'slr':>7s} {'oracle':>7s} {'regret':>7s} {'moved':>5s} "
+        f"{'mig(ms)':>8s} {'hit%':>5s}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in report.steps:
+        lines.append(
+            f"{s.index:>3d} {s.step:>4d} {s.kind:<17s} {s.num_devices:>3d} {s.num_graphs:>2d} "
+            f"{s.mean_slr:>7.3f} {s.oracle_slr:>7.3f} {s.regret:>+7.3f} {s.migrated_tasks:>5d} "
+            f"{s.migration_cost_ms:>8.2f} {100 * s.cache_hit_rate:>4.0f}%"
+        )
+    lines.append(
+        f"summary[{report.policy}]: mean SLR {report.mean_slr:.3f}, "
+        f"mean regret {report.mean_regret:+.3f}, "
+        f"{report.total_migrated_tasks} migrations costing "
+        f"{report.total_migration_cost_ms:.1f} ms, "
+        f"re-placement {report.total_replace_seconds:.2f} s"
+    )
+    return "\n".join(lines)

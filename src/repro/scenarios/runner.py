@@ -1,0 +1,365 @@
+"""Streaming replay engine: policies adapting to a scenario's events.
+
+:class:`ScenarioRunner` materializes a spec once, then replays its event
+stream against any number of :class:`~repro.baselines.base.SearchPolicy`
+implementations.  Per event it
+
+1. notifies the policy through its ``adapt(event)`` hook,
+2. carries each graph's previous placement onto the changed network
+   (repairing tasks stranded on removed devices),
+3. re-runs the policy's search from that carried placement, reusing the
+   per-problem :class:`~repro.runtime.evaluator.PlacementEvaluator`
+   through an :class:`~repro.runtime.evaluator.EvaluatorPool` so caches
+   survive events that leave the network untouched,
+4. charges every task move through the scenario's
+   :class:`~repro.sim.relocation.RelocationCostModel`, and
+5. records a :class:`~repro.scenarios.report.StepRecord` with the SLR,
+   the regret against a fresh-search oracle, and cache statistics.
+
+All randomness derives from ``(spec.seed, policy name, event index)``,
+so a report is bit-identical across replays and independent of which
+other policies run alongside.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..baselines.base import SearchPolicy
+from ..baselines.heft import heft_placement
+from ..baselines.random_policies import RandomTaskEftPolicy
+from ..core.placement import PlacementProblem, random_placement
+from ..devices.network import DeviceNetwork
+from ..runtime.evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluator
+from ..sim.metrics import cp_min_lower_bound
+from ..sim.objectives import MakespanObjective, Objective
+from ..sim.relocation import RelocationCostModel, TaskRelocationProfile
+from .events import MaterializedScenario, ScenarioEvent, materialize
+from .report import AdaptationReport, StepRecord
+from .spec import ScenarioSpec
+
+__all__ = ["ScenarioRunner", "ScenarioResult"]
+
+_ORACLE_KEY = zlib.crc32(b"__fresh-search-oracle__")
+
+
+def _policy_key(name: str) -> int:
+    """Stable (non-salted) integer key for a policy name."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def _uid_placement(placement: Sequence[int], network: DeviceNetwork) -> tuple[int, ...]:
+    """Dense device indices -> stable device uids."""
+    return tuple(network.devices[d].uid for d in placement)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Replay output: one :class:`AdaptationReport` per policy."""
+
+    materialized: MaterializedScenario
+    reports: dict[str, AdaptationReport]
+    oracle_slr: tuple[float, ...]
+
+    @property
+    def spec(self) -> ScenarioSpec:
+        return self.materialized.spec
+
+    def slr_series(self, policy: str) -> list[float]:
+        return self.reports[policy].series("mean_slr")
+
+
+class _StatsTracker:
+    """Per-step deltas over a monotonically growing stats aggregate."""
+
+    def __init__(self) -> None:
+        self._last = EvaluatorStats()
+
+    def delta(self, total: EvaluatorStats) -> tuple[int, float]:
+        evaluations = total.evaluations - self._last.evaluations
+        hits = total.cache_hits - self._last.cache_hits
+        misses = total.cache_misses - self._last.cache_misses
+        looked_up = hits + misses
+        self._last = EvaluatorStats().merge(total)
+        return evaluations, (hits / looked_up if looked_up else 0.0)
+
+
+class ScenarioRunner:
+    """Replay one scenario against placement policies.
+
+    Parameters
+    ----------
+    spec: the declarative scenario (or pass a pre-materialized one).
+    episode_multiplier: search budget per re-placement, in units of the
+        graph's task count (the paper's 2·|V| protocol).
+    reuse_evaluators: share one :class:`EvaluatorPool` per policy across
+        the whole replay (the production path).  ``False`` builds a cold
+        evaluator per (event, graph) — the configuration the replay
+        benchmark compares against.
+    oracle: compute the fresh-search oracle (HEFT ∧ random-task-EFT from
+        a fresh random start) per event; disable for pure throughput
+        runs, where regret is reported as 0.
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec | MaterializedScenario,
+        episode_multiplier: int = 2,
+        reuse_evaluators: bool = True,
+        oracle: bool = True,
+    ) -> None:
+        if episode_multiplier < 1:
+            raise ValueError("episode_multiplier must be >= 1")
+        self.materialized = spec if isinstance(spec, MaterializedScenario) else materialize(spec)
+        self.spec = self.materialized.spec
+        self.episode_multiplier = episode_multiplier
+        self.reuse_evaluators = reuse_evaluators
+        self.oracle = oracle
+        self._oracle_cache: list[float] | None = None
+        self._profile = TaskRelocationProfile(
+            migration_bytes=self.spec.relocation.migration_bytes,
+            static_init_kbytes=self.spec.relocation.static_init_kbytes,
+            startup_ms_by_type={"generic": self.spec.relocation.startup_ms},
+        )
+
+    # -- building blocks ---------------------------------------------------------
+
+    def _relocation_model(self, network: DeviceNetwork) -> RelocationCostModel:
+        return RelocationCostModel(
+            {"task": self._profile},
+            {d.uid: "generic" for d in network.devices},
+            include_static_init=self.spec.relocation.include_static_init,
+        )
+
+    def _denominator(self, problem: PlacementProblem, objective: Objective) -> float:
+        if isinstance(objective, MakespanObjective):
+            return cp_min_lower_bound(problem.cost_model)
+        return 1.0
+
+    def _repair(
+        self, prev_uids: Sequence[int] | None, problem: PlacementProblem
+    ) -> tuple[int, ...]:
+        """Carry a uid placement onto ``problem``'s (possibly new) network.
+
+        Tasks whose device survived keep it; stranded tasks fall back to
+        their fastest feasible device (deterministic, so replays agree).
+        """
+        network, w = problem.network, problem.cost_model.W
+        out = []
+        for task, feasible in enumerate(problem.feasible_sets):
+            dense: int | None = None
+            if prev_uids is not None and prev_uids[task] in network:
+                candidate = network.index_of(prev_uids[task])
+                if candidate in feasible:
+                    dense = candidate
+            if dense is None:
+                dense = int(min(feasible, key=lambda d: w[task, d]))
+            out.append(dense)
+        return tuple(out)
+
+    def _migration(
+        self,
+        prev_uids: Sequence[int] | None,
+        new_uids: Sequence[int],
+        network: DeviceNetwork,
+        model: RelocationCostModel,
+    ) -> tuple[int, float]:
+        """(moved task count, total migration ms) between two placements."""
+        if prev_uids is None:
+            return 0, 0.0  # initial placement: deployment, not migration
+        moved, cost = 0, 0.0
+        for old, new in zip(prev_uids, new_uids):
+            if old == new:
+                continue
+            moved += 1
+            if old in network:
+                cost += model.cost_ms("task", network, old, new)
+            else:
+                # Source device left the cluster: state is lost, only the
+                # target startup is payable.
+                cost += self.spec.relocation.startup_ms
+        return moved, cost
+
+    def _evaluator(
+        self, pool: EvaluatorPool | None, problem: PlacementProblem, objective: Objective
+    ) -> PlacementEvaluator:
+        if pool is not None:
+            return pool.get(problem)
+        return PlacementEvaluator(problem, objective)
+
+    def _replay_state(self):
+        """Advance cluster/workload state event by event.
+
+        Yields ``(None, problems, network)`` for the initial state, then
+        ``(event, problems, network)`` per event — the single source of
+        truth for how events transform state, shared by the oracle and
+        the policy replay so the two can never disagree on it.  Problem
+        objects keep their identity across events that leave the network
+        untouched (what makes :class:`EvaluatorPool` reuse pay off).
+        """
+        graphs = list(self.materialized.initial_graphs)
+        network = self.materialized.initial_network
+        problems = [PlacementProblem(g, network) for g in graphs]
+        yield None, problems, network
+        for event in self.materialized.events:
+            if event.kind == "arrival":
+                graphs.append(event.graph)
+                problems.append(PlacementProblem(event.graph, network))
+            else:
+                network = event.network
+                problems = [PlacementProblem(g, network) for g in graphs]
+            yield event, problems, network
+
+    # -- oracle ------------------------------------------------------------------
+
+    def _oracle_slr(self) -> list[float]:
+        """Per-event fresh-search oracle SLR (mean over active graphs).
+
+        The oracle ignores placement carry-over: per (event, graph) it
+        takes the better of HEFT and a random-task-EFT search started
+        from a fresh random placement with the same step budget.
+        """
+        objective = self.spec.make_objective()
+        pool = EvaluatorPool(objective) if self.reuse_evaluators else None
+        searcher = RandomTaskEftPolicy()
+        out: list[float] = []
+        for event, problems, _ in self._replay_state():
+            if event is None:
+                continue
+            rng = np.random.default_rng([self.spec.seed, _ORACLE_KEY, event.index])
+            slrs = []
+            for problem in problems:
+                evaluator = self._evaluator(pool, problem, objective)
+                heft_value = evaluator.evaluate(heft_placement(problem).placement)
+                trace = searcher.search(
+                    problem,
+                    objective,
+                    random_placement(problem, rng),
+                    self.episode_multiplier * problem.graph.num_tasks,
+                    rng,
+                    evaluator=evaluator,
+                )
+                denom = self._denominator(problem, objective)
+                slrs.append(min(heft_value, trace.best_value) / denom)
+            out.append(float(np.mean(slrs)))
+        return out
+
+    # -- replay ------------------------------------------------------------------
+
+    def run(self, policies: Mapping[str, SearchPolicy]) -> ScenarioResult:
+        """Replay the scenario for every policy; see the class docstring."""
+        if not policies:
+            raise ValueError("need at least one policy")
+        if self.oracle:
+            if self._oracle_cache is None:
+                # Deterministic in the runner's configuration, so repeated
+                # run() calls (policy sweeps, benchmarks) pay for it once.
+                self._oracle_cache = self._oracle_slr()
+            oracle_slr = self._oracle_cache
+        else:
+            oracle_slr = [0.0] * self.materialized.num_events
+        reports = {
+            name: self._run_policy(name, policy, oracle_slr)
+            for name, policy in policies.items()
+        }
+        return ScenarioResult(
+            materialized=self.materialized,
+            reports=reports,
+            oracle_slr=tuple(oracle_slr),
+        )
+
+    def _run_policy(
+        self, name: str, policy: SearchPolicy, oracle_slr: Sequence[float]
+    ) -> AdaptationReport:
+        spec = self.spec
+        objective = spec.make_objective()
+        key = _policy_key(name)
+        pool = EvaluatorPool(objective) if self.reuse_evaluators else None
+        cold_stats = EvaluatorStats()  # aggregate when evaluators are per-event
+        tracker = _StatsTracker()
+
+        state = self._replay_state()
+        _, problems, network = next(state)
+        model = self._relocation_model(network)
+
+        # Initial deployment: a shared random placement per graph, the
+        # state every event adapts from.
+        init_rng = np.random.default_rng([spec.seed, key, 0])
+        placements: list[tuple[int, ...] | None] = [
+            _uid_placement(random_placement(p, init_rng), network) for p in problems
+        ]
+
+        steps: list[StepRecord] = []
+        for event, problems, network in state:
+            began = time.perf_counter()
+            adapt = getattr(policy, "adapt", None)
+            if callable(adapt):
+                adapt(event)
+            if event.kind == "arrival":
+                placements.append(None)
+            else:
+                model = self._relocation_model(network)
+
+            rng = np.random.default_rng([spec.seed, key, 1 + event.index])
+            values, slrs = [], []
+            moved_total, cost_total = 0, 0.0
+            for i, problem in enumerate(problems):
+                evaluator = self._evaluator(pool, problem, objective)
+                initial = self._repair(placements[i], problem)
+                trace = policy.search(
+                    problem,
+                    objective,
+                    initial,
+                    self.episode_multiplier * problem.graph.num_tasks,
+                    rng,
+                    evaluator=evaluator,
+                )
+                new_uids = _uid_placement(trace.best_placement, network)
+                moved, cost = self._migration(placements[i], new_uids, network, model)
+                placements[i] = new_uids
+                moved_total += moved
+                cost_total += cost
+                values.append(trace.best_value)
+                slrs.append(trace.best_value / self._denominator(problem, objective))
+                if pool is None:
+                    cold_stats.merge(evaluator.stats)
+
+            elapsed = time.perf_counter() - began
+            total = pool.stats() if pool is not None else cold_stats
+            evaluations, hit_rate = tracker.delta(total)
+            frequency = spec.relocation.pipeline_frequency_hz
+            steps.append(
+                StepRecord(
+                    index=event.index,
+                    step=event.step,
+                    kind=event.kind,
+                    num_graphs=len(problems),
+                    num_devices=network.num_devices,
+                    mean_value=float(np.mean(values)),
+                    mean_slr=float(np.mean(slrs)),
+                    oracle_slr=float(oracle_slr[event.index]),
+                    # Without an oracle there is nothing to regret against.
+                    regret=float(np.mean(slrs) - oracle_slr[event.index]) if self.oracle else 0.0,
+                    migrated_tasks=moved_total,
+                    migration_cost_ms=cost_total,
+                    amortized_migration_ms=cost_total / frequency if frequency else cost_total,
+                    replace_seconds=elapsed,
+                    evaluations=evaluations,
+                    cache_hit_rate=hit_rate,
+                )
+            )
+
+        final_stats = pool.stats() if pool is not None else cold_stats
+        return AdaptationReport(
+            scenario=spec.name,
+            policy=name,
+            seed=spec.seed,
+            objective=spec.objective,
+            steps=tuple(steps),
+            evaluator_stats=final_stats.as_dict(),
+        )

@@ -1,0 +1,170 @@
+"""Churn dynamics: event kinds, config validation, network transforms."""
+
+import numpy as np
+import pytest
+
+from repro.devices import ChurnConfig, DeviceNetworkParams, generate_device_network, network_churn
+
+
+@pytest.fixture
+def network():
+    return generate_device_network(
+        DeviceNetworkParams(num_devices=6, support_prob=0.8), np.random.default_rng(0)
+    )
+
+
+class TestChurnConfigValidation:
+    def test_probabilities_must_be_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(bandwidth_drift_prob=-0.1)
+        with pytest.raises(ValueError):
+            ChurnConfig(compute_slowdown_prob=1.5)
+
+    def test_probabilities_must_not_exceed_one_jointly(self):
+        with pytest.raises(ValueError, match="<= 1"):
+            ChurnConfig(bandwidth_drift_prob=0.6, compute_slowdown_prob=0.6)
+
+    def test_factor_ranges_must_be_positive_and_ordered(self):
+        with pytest.raises(ValueError, match="drift_range"):
+            ChurnConfig(drift_range=(0.9, 0.5))
+        with pytest.raises(ValueError, match="slowdown_range"):
+            ChurnConfig(slowdown_range=(0.0, 0.5))
+
+    def test_target_must_be_known(self):
+        with pytest.raises(ValueError, match="target"):
+            ChurnConfig(target="slowest")
+        ChurnConfig(target="fastest")  # valid
+
+    def test_seed_fields_still_validated(self):
+        with pytest.raises(ValueError):
+            ChurnConfig(min_devices=5, max_devices=3)
+        with pytest.raises(ValueError):
+            ChurnConfig(capacity_decay=0.0)
+
+
+class TestSoftEvents:
+    def test_default_config_emits_only_add_remove(self, network):
+        config = ChurnConfig(min_devices=4, max_devices=6, num_changes=12)
+        kinds = {e.kind for e in network_churn(network, config, np.random.default_rng(1))}
+        assert kinds <= {"add", "remove"}
+
+    def test_drift_only_config_emits_drift_events_with_factors(self, network):
+        config = ChurnConfig(
+            min_devices=6, max_devices=6, num_changes=6,
+            bandwidth_drift_prob=1.0, drift_range=(0.5, 0.9),
+        )
+        events = list(network_churn(network, config, np.random.default_rng(2)))
+        assert [e.kind for e in events] == ["bandwidth-drift"] * 6
+        for event in events:
+            assert 0.5 <= event.factor <= 0.9
+            assert event.uid in event.network
+
+    def test_drift_scales_only_links_of_affected_device(self, network):
+        config = ChurnConfig(
+            min_devices=6, max_devices=6, num_changes=1,
+            bandwidth_drift_prob=1.0, drift_range=(0.5, 0.5),
+        )
+        [event] = network_churn(network, config, np.random.default_rng(3))
+        k = event.network.index_of(event.uid)
+        before, after = network.bandwidth, event.network.bandwidth
+        m = network.num_devices
+        for i in range(m):
+            for j in range(m):
+                if i == j:
+                    assert np.isinf(after[i, j])
+                elif i == k or j == k:
+                    assert after[i, j] == pytest.approx(0.5 * before[i, j])
+                else:
+                    assert after[i, j] == before[i, j]
+
+    def test_slowdown_reduces_speed_of_affected_device_only(self, network):
+        config = ChurnConfig(
+            min_devices=6, max_devices=6, num_changes=4,
+            compute_slowdown_prob=1.0, slowdown_range=(0.5, 0.9),
+        )
+        prev = network
+        for event in network_churn(network, config, np.random.default_rng(4)):
+            for device in event.network.devices:
+                old = prev.devices[prev.index_of(device.uid)]
+                if device.uid == event.uid:
+                    assert device.speed == pytest.approx(old.speed * event.factor)
+                else:
+                    assert device.speed == old.speed
+            prev = event.network
+
+    def test_fastest_target_always_degrades_top_device(self, network):
+        config = ChurnConfig(
+            min_devices=6, max_devices=6, num_changes=5,
+            compute_slowdown_prob=1.0, target="fastest",
+        )
+        prev = network
+        for event in network_churn(network, config, np.random.default_rng(5)):
+            fastest = max(prev.devices, key=lambda d: (d.speed, d.uid))
+            assert event.uid == fastest.uid
+            prev = event.network
+
+    def test_mixed_probabilities_emit_every_family(self, network):
+        config = ChurnConfig(
+            min_devices=4, max_devices=6, num_changes=40,
+            bandwidth_drift_prob=0.3, compute_slowdown_prob=0.3,
+        )
+        kinds = {e.kind for e in network_churn(network, config, np.random.default_rng(6))}
+        assert kinds == {"add", "remove", "bandwidth-drift", "compute-slowdown"}
+
+    def test_fixed_membership_with_partial_soft_prob_degrades_instead(self, network):
+        # min == max leaves no hard move; steps whose draw lands in the
+        # add/remove branch must fall back to a soft event, not crash.
+        config = ChurnConfig(
+            min_devices=6, max_devices=6, num_changes=20,
+            bandwidth_drift_prob=0.25, compute_slowdown_prob=0.25,
+        )
+        events = list(network_churn(network, config, np.random.default_rng(8)))
+        assert len(events) == 20
+        assert {e.kind for e in events} <= {"bandwidth-drift", "compute-slowdown"}
+
+    def test_fixed_membership_without_soft_events_raises_clearly(self, network):
+        config = ChurnConfig(min_devices=6, max_devices=6, num_changes=1)
+        with pytest.raises(ValueError, match="no add/remove possible"):
+            list(network_churn(network, config, np.random.default_rng(9)))
+
+    def test_same_seed_same_stream(self, network):
+        config = ChurnConfig(
+            min_devices=4, max_devices=6, num_changes=10,
+            bandwidth_drift_prob=0.25, compute_slowdown_prob=0.25,
+        )
+        a = list(network_churn(network, config, np.random.default_rng(7)))
+        b = list(network_churn(network, config, np.random.default_rng(7)))
+        assert [(e.kind, e.uid, e.step, e.factor) for e in a] == [
+            (e.kind, e.uid, e.step, e.factor) for e in b
+        ]
+        for ea, eb in zip(a, b):
+            assert np.array_equal(ea.network.bandwidth, eb.network.bandwidth)
+            assert np.array_equal(ea.network.delay, eb.network.delay)
+            assert ea.network.devices == eb.network.devices
+
+
+class TestNetworkTransforms:
+    def test_with_device_speed_replaces_one_speed(self, network):
+        uid = network.devices[2].uid
+        out = network.with_device_speed(uid, 123.0)
+        assert out.devices[2].speed == 123.0
+        assert network.devices[2].speed != 123.0  # original untouched
+        assert out.devices[0].speed == network.devices[0].speed
+
+    def test_with_device_speed_validates(self, network):
+        with pytest.raises(KeyError):
+            network.with_device_speed(10_000, 1.0)
+        with pytest.raises(ValueError):
+            network.with_device_speed(network.devices[0].uid, 0.0)
+
+    def test_with_bandwidth_scaled_global(self, network):
+        out = network.with_bandwidth_scaled(0.5)
+        off = ~np.eye(network.num_devices, dtype=bool)
+        assert np.allclose(out.bandwidth[off], 0.5 * network.bandwidth[off])
+        assert np.isinf(np.diag(out.bandwidth)).all()
+
+    def test_with_bandwidth_scaled_validates(self, network):
+        with pytest.raises(ValueError):
+            network.with_bandwidth_scaled(0.0)
+        with pytest.raises(KeyError):
+            network.with_bandwidth_scaled(0.5, uid=10_000)

@@ -79,3 +79,53 @@ class TestWorkflow:
         rc = main(["experiment", "table1", "--scale", "quick"])
         assert rc == 0
         assert "Table 1" in capsys.readouterr().out
+
+
+class TestScenario:
+    def test_list_shows_every_preset(self, capsys):
+        from repro.scenarios import DEFAULT_REGISTRY
+
+        rc = main(["scenario", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in DEFAULT_REGISTRY.names():
+            assert name in out
+
+    def test_bare_scenario_defaults_to_list(self, capsys):
+        rc = main(["scenario"])
+        assert rc == 0
+        assert "edge-churn" in capsys.readouterr().out
+
+    def test_run_requires_name(self, capsys):
+        rc = main(["scenario", "run"])
+        assert rc == 2
+        assert "needs a preset name" in capsys.readouterr().out
+
+    def test_run_unknown_preset_fails_cleanly(self, capsys):
+        rc = main(["scenario", "run", "no-such-preset"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "unknown scenario" in out and "edge-churn" in out
+
+    def test_run_unknown_policy_rejected(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenario", "run", "edge-churn", "--policy", "alphago"])
+
+    def test_run_replays_preset(self, capsys):
+        rc = main(
+            ["scenario", "run", "stable-cluster", "--policy", "task-eft", "--seed", "3",
+             "--events"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenario 'stable-cluster'" in out
+        assert "arrival" in out
+        assert "summary[task-eft]" in out
+
+    def test_run_default_policies(self, capsys):
+        rc = main(["scenario", "run", "compute-brownout"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "summary[random]" in out and "summary[task-eft]" in out
