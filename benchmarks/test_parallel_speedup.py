@@ -1,0 +1,82 @@
+"""Parallel execution engine: wall-clock scaling on a fig14-sized sweep.
+
+Fig. 14's grid — 7 GNN variants x 3 network settings, each cell an
+independent train-and-evaluate run — is the repo's canonical
+embarrassingly parallel workload.  The speedup benchmark times the
+sweep serially and fanned out over 4 workers and asserts >=2x scaling
+(on machines with at least 4 CPUs; the determinism half runs
+everywhere and also guards the fan-out's correctness).
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.experiments import QUICK, fig14
+from repro.parallel import available_workers
+
+# Smaller than the quick preset so the timed serial pass stays in
+# seconds, but the same 21-cell grid shape as the real figure.
+SWEEP_SCALE = dataclasses.replace(
+    QUICK,
+    name="bench-parallel",
+    num_tasks=8,
+    num_devices=4,
+    train_graphs=3,
+    test_cases=3,
+    num_networks=2,
+    convergence_episodes=6,
+    convergence_eval_every=3,
+    convergence_eval_cases=2,
+)
+
+MICRO_SCALE = dataclasses.replace(
+    SWEEP_SCALE,
+    name="bench-parallel-micro",
+    num_tasks=5,
+    num_devices=3,
+    train_graphs=2,
+    test_cases=2,
+    convergence_episodes=2,
+    convergence_eval_every=1,
+    convergence_eval_cases=1,
+)
+
+
+def timed(workers: int, scale=SWEEP_SCALE):
+    began = time.perf_counter()
+    report = fig14.run(scale, seed=0, workers=workers)
+    return time.perf_counter() - began, report
+
+
+def test_fanout_is_deterministic_and_cheap():
+    """Fan-out must change nothing but wall clock, even on one core."""
+    serial_seconds, serial = timed(1, MICRO_SCALE)
+    fanned_seconds, fanned = timed(2, MICRO_SCALE)
+    assert serial.data == fanned.data
+    # Process startup + context broadcast overhead stays bounded; on a
+    # single-CPU box the fanned run degrades to roughly serial speed.
+    assert fanned_seconds < 3.0 * serial_seconds + 2.0
+    print(
+        f"fig14 micro sweep: serial {serial_seconds:.2f}s, "
+        f"2 workers {fanned_seconds:.2f}s ({available_workers()} CPUs)"
+    )
+
+
+@pytest.mark.skipif(
+    available_workers() < 4, reason="wall-clock speedup needs >= 4 CPUs"
+)
+def test_parallel_speedup_fig14_sweep():
+    # Note: on SMT machines reporting 4 vCPUs over 2 physical cores the
+    # 2x bar is tighter than it looks; the 21-cell sweep is sized to
+    # amortize fork/broadcast overhead so the margin holds there too.
+    serial_seconds, serial = timed(1)
+    fanned_seconds, fanned = timed(4)
+    assert serial.data == fanned.data
+    speedup = serial_seconds / fanned_seconds
+    print(
+        f"fig14-sized sweep (21 cells): serial {serial_seconds:.2f}s, "
+        f"4 workers {fanned_seconds:.2f}s -> {speedup:.2f}x"
+    )
+    assert speedup >= 2.0, f"expected >=2x at 4 workers, got {speedup:.2f}x"

@@ -45,6 +45,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lr", type=float, default=0.01)
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--logdir", default="runs")
+    train.add_argument("--batch-episodes", type=int, default=1, metavar="K",
+                       help="episodes per gradient update; K>1 collects them "
+                            "against snapshot weights (K=1: serial semantics)")
+    train.add_argument("--workers", type=int, default=1,
+                       help="processes collecting batched episodes (needs "
+                            "--batch-episodes > 1 to fan out; 0 = all CPUs)")
 
     test = sub.add_parser("test", help="evaluate a saved policy on fresh cases")
     test.add_argument("--run-folder", required=True,
@@ -64,6 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "table1|table6|table7")
     exp.add_argument("--scale", default=None, choices=["quick", "paper"])
     exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument("--workers", type=int, default=1,
+                     help="worker processes for experiments that fan out "
+                          "(fig6, fig14); results are worker-count independent "
+                          "(0 = all CPUs)")
 
     scen = sub.add_parser(
         "scenario", help="replay a dynamic-cluster scenario (see repro.scenarios)"
@@ -82,6 +92,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print the materialized event stream before replaying")
     scen.add_argument("--cold-evaluators", action="store_true",
                       help="disable cross-event evaluator reuse (benchmark mode)")
+    scen.add_argument("--workers", type=int, default=1,
+                      help="replay policies on this many processes "
+                           "(reports are worker-count independent; 0 = all CPUs)")
 
     return parser
 
@@ -123,13 +136,19 @@ def cmd_train(args: argparse.Namespace) -> int:
     run_dir = pathlib.Path(args.logdir) / f"{stamp}_{args.embedding}"
     run_dir.mkdir(parents=True, exist_ok=True)
 
+    from .parallel import resolve_workers
+
+    workers = resolve_workers(args.workers)
     print(f"training {args.embedding} for {args.episodes} episodes "
           f"({args.train_graphs} graphs of {args.num_tasks} tasks on "
-          f"{args.num_devices} devices)")
+          f"{args.num_devices} devices"
+          + (f"; batches of {args.batch_episodes} on {workers} workers"
+             if args.batch_episodes > 1 else "") + ")")
     trainer.train(problems, rng, callback=lambda s: print(
         f"  episode {s.episode:4d}: reward {s.total_reward:+9.3f} "
         f"best {s.best_value:9.3f}"
-    ) if s.episode % max(args.episodes // 10, 1) == 0 else None)
+    ) if s.episode % max(args.episodes // 10, 1) == 0 else None,
+        batch_size=args.batch_episodes, workers=workers)
 
     save_agent(agent, run_dir / "agent.npz")
     history = [
@@ -227,6 +246,8 @@ def cmd_scenario(args: argparse.Namespace) -> int:
     except KeyError as error:
         print(f"error: {error.args[0]}")
         return 2
+    from .parallel import resolve_workers
+
     runner = ScenarioRunner(spec, reuse_evaluators=not args.cold_evaluators)
     materialized = runner.materialized
     print(f"scenario {spec.name!r} (seed {spec.seed}, objective {spec.objective}): "
@@ -239,7 +260,10 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         for line in describe_events(materialized.events):
             print(f"  {line}")
 
-    result = runner.run(_scenario_policies(args.policies or ["random", "task-eft"]))
+    result = runner.run(
+        _scenario_policies(args.policies or ["random", "task-eft"]),
+        workers=resolve_workers(args.workers),
+    )
     for report in result.reports.values():
         print()
         print(format_adaptation_table(report))
@@ -261,12 +285,21 @@ def _scenario_policies(names: list[str]):
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
+    import inspect
 
     from .experiments import PAPER, QUICK, active_scale
+    from .parallel import resolve_workers
 
     module = importlib.import_module(f"repro.experiments.{args.id}")
     scale = {"quick": QUICK, "paper": PAPER}.get(args.scale) if args.scale else active_scale()
-    report = module.run(scale, seed=args.seed)
+    kwargs = {}
+    # Experiments with an embarrassingly parallel grid accept `workers`;
+    # the rest are serial (tracked in ROADMAP.md "Open items").
+    if "workers" in inspect.signature(module.run).parameters:
+        kwargs["workers"] = resolve_workers(args.workers)
+    elif args.workers not in (None, 1):
+        print(f"note: experiment {args.id!r} runs serially; --workers ignored")
+    report = module.run(scale, seed=args.seed, **kwargs)
     print(report.text)
     return 0
 

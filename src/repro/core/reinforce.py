@@ -10,7 +10,6 @@ average reward before step t in an episode".
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -24,7 +23,14 @@ from .env import PlacementEnv
 from .features import FeatureConfig, GpNetBuilder
 from .placement import PlacementProblem
 
-__all__ = ["ReinforceConfig", "EpisodeStats", "ReinforceTrainer", "discounted_returns"]
+__all__ = [
+    "ReinforceConfig",
+    "EpisodeStats",
+    "ReinforceTrainer",
+    "discounted_returns",
+    "collect_episode",
+    "episode_loss",
+]
 
 
 def discounted_returns(rewards: Sequence[float], gamma: float) -> np.ndarray:
@@ -71,9 +77,52 @@ class ReinforceConfig:
             raise ValueError("grad_clip must be positive")
 
 
+def collect_episode(
+    agent: GiPHAgent, env: PlacementEnv, rng: np.random.Generator
+) -> tuple[list[Tensor], list[float], float, float, float]:
+    """Roll out one on-policy episode.
+
+    Returns ``(log_probs, rewards, initial_value, final_value,
+    best_value)``.  Shared by the serial trainer and the batched worker
+    path (:mod:`repro.parallel.episodes`) so their rollout semantics
+    cannot drift apart.
+    """
+    state = env.reset(rng=rng)
+    initial_value = state.objective_value
+    best_value = initial_value
+    log_probs: list[Tensor] = []
+    rewards: list[float] = []
+    done = False
+    while not done:
+        action, log_prob = agent.act(env, state)
+        state, reward, done = env.step(action)
+        log_probs.append(log_prob)
+        rewards.append(reward)
+        best_value = min(best_value, state.objective_value)
+    return log_probs, rewards, initial_value, state.objective_value, best_value
+
+
+def episode_loss(
+    log_probs: Sequence[Tensor], rewards: Sequence[float], config: "ReinforceConfig"
+) -> Tensor:
+    """-Σ_t γ^t log π(a_t|s_t) · advantage_t for one episode."""
+    returns = discounted_returns(rewards, config.gamma)
+    baseline = average_reward_baseline(rewards)
+    discount = config.gamma ** np.arange(len(rewards))
+    advantages = discount * (returns - baseline)
+    return sum(lp * float(-adv) for lp, adv in zip(log_probs, advantages))
+
+
 @dataclass(frozen=True)
 class EpisodeStats:
-    """Per-episode training record."""
+    """Per-episode training record.
+
+    ``grad_norm`` is the pre-clip L2 norm of *this episode's* policy
+    gradient in both training modes.  In serial mode that gradient is
+    also the applied update; in batched mode the applied update is the
+    slot-ordered mean of the round's gradients (clipped once), whose
+    norm is not recorded per episode.
+    """
 
     episode: int
     initial_value: float
@@ -91,6 +140,7 @@ class ReinforceTrainer:
         agent: GiPHAgent,
         objective: Objective,
         config: ReinforceConfig | None = None,
+        max_cached_problems: int = 128,
     ) -> None:
         self.agent = agent
         self.objective = objective
@@ -101,9 +151,18 @@ class ReinforceTrainer:
         # shared across the episode batch: the training set repeats
         # problems, so cached placement values/timelines and the
         # builder's static per-instance precompute pay off across
-        # episodes instead of being rebuilt each one.
-        self._evaluators = EvaluatorPool(objective)
-        self._builders: OrderedDict[int, GpNetBuilder] = OrderedDict()
+        # episodes instead of being rebuilt each one.  The two caches
+        # cover the same problems, so the evaluator pool's LRU drives
+        # both: its eviction hook drops the paired builder, keeping a
+        # long problem sweep from pinning a builder whose evaluator is
+        # gone (or vice versa).
+        self._evaluators = EvaluatorPool(
+            objective, max_problems=max_cached_problems, on_evict=self._drop_builder
+        )
+        self._builders: dict[int, GpNetBuilder] = {}
+
+    def _drop_builder(self, problem_id: int, evaluator: PlacementEvaluator) -> None:
+        self._builders.pop(problem_id, None)
 
     def evaluator_for(self, problem: PlacementProblem) -> PlacementEvaluator:
         """The shared scoring path for ``problem`` (created on first use)."""
@@ -114,16 +173,13 @@ class ReinforceTrainer:
         return self._evaluators.stats()
 
     def _builder_for(self, problem: PlacementProblem) -> GpNetBuilder:
+        # Touch (or create) the evaluator first so the pair's recency in
+        # the pool's LRU moves in lockstep with builder use.
+        self._evaluators.get(problem)
         builder = self._builders.get(id(problem))
         if builder is None:
             builder = GpNetBuilder(problem, self.config.feature_config)
             self._builders[id(problem)] = builder
-            # Same LRU bound as the evaluator pool: don't pin one builder
-            # per instance across an arbitrarily large problem sweep.
-            if len(self._builders) > self._evaluators.max_problems:
-                self._builders.popitem(last=False)
-        else:
-            self._builders.move_to_end(id(problem))
         return builder
 
     def run_episode(self, problem: PlacementProblem, rng: np.random.Generator) -> EpisodeStats:
@@ -137,29 +193,10 @@ class ReinforceTrainer:
             evaluator=self.evaluator_for(problem),
             builder=self._builder_for(problem),
         )
-        state = env.reset(rng=rng)
-        initial_value = state.objective_value
-        best_value = initial_value
-
-        log_probs: list[Tensor] = []
-        rewards: list[float] = []
-        done = False
-        while not done:
-            action, log_prob = self.agent.act(env, state)
-            state, reward, done = env.step(action)
-            log_probs.append(log_prob)
-            rewards.append(reward)
-            best_value = min(best_value, state.objective_value)
-
-        returns = discounted_returns(rewards, cfg.gamma)
-        baseline = average_reward_baseline(rewards)
-        discount = cfg.gamma ** np.arange(len(rewards))
-        advantages = discount * (returns - baseline)
-
-        # loss = -Σ_t γ^t log π(a_t|s_t) · advantage_t
-        loss = sum(
-            lp * float(-adv) for lp, adv in zip(log_probs, advantages)
+        log_probs, rewards, initial_value, final_value, best_value = collect_episode(
+            self.agent, env, rng
         )
+        loss = episode_loss(log_probs, rewards, cfg)
         self.optimizer.zero_grad()
         loss.backward()
         grad_norm = self.optimizer.clip_grad_norm(cfg.grad_clip)
@@ -168,7 +205,7 @@ class ReinforceTrainer:
         stats = EpisodeStats(
             episode=len(self.history),
             initial_value=initial_value,
-            final_value=state.objective_value,
+            final_value=final_value,
             best_value=best_value,
             total_reward=float(sum(rewards)),
             grad_norm=grad_norm,
@@ -182,15 +219,106 @@ class ReinforceTrainer:
         rng: np.random.Generator,
         episodes: int | None = None,
         callback: Callable[[EpisodeStats], None] | None = None,
+        *,
+        batch_size: int = 1,
+        workers: int = 1,
     ) -> list[EpisodeStats]:
-        """Run ``episodes`` episodes, sampling a problem per episode."""
+        """Run ``episodes`` episodes, sampling a problem per episode.
+
+        ``batch_size`` (K) switches to batched collection: K episodes
+        are rolled out against a snapshot of the current weights — on
+        ``workers`` processes when > 1 — and their gradients averaged
+        into one clipped optimizer step.  K=1 is exactly today's serial
+        semantics (one episode, one step, all randomness from ``rng``),
+        so existing callers are unchanged; with K>1 the per-episode
+        randomness derives from ``(round seed, slot)`` streams, making
+        the result bit-identical for any worker count.
+        """
+        from ..parallel.pool import resolve_workers
+
         if not problems:
             raise ValueError("training needs at least one problem")
-        stats = []
-        for _ in range(episodes or self.config.episodes):
-            problem = problems[int(rng.integers(0, len(problems)))]
-            ep = self.run_episode(problem, rng)
-            stats.append(ep)
-            if callback is not None:
-                callback(ep)
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        workers = resolve_workers(workers)  # 0/None -> all CPUs
+        total = episodes or self.config.episodes
+        if batch_size == 1:
+            # Serial semantics: parallel episode collection needs K > 1
+            # (a single-episode update has nothing to fan out).
+            stats = []
+            for _ in range(total):
+                problem = problems[int(rng.integers(0, len(problems)))]
+                ep = self.run_episode(problem, rng)
+                stats.append(ep)
+                if callback is not None:
+                    callback(ep)
+            return stats
+        return self._train_batched(list(problems), rng, total, callback, batch_size, workers)
+
+    def _train_batched(
+        self,
+        problems: list[PlacementProblem],
+        rng: np.random.Generator,
+        total: int,
+        callback: Callable[[EpisodeStats], None] | None,
+        batch_size: int,
+        workers: int,
+    ) -> list[EpisodeStats]:
+        from ..parallel.episodes import BatchContext, EpisodePayload, rollout_episode
+        from ..parallel.pool import WorkerPool
+
+        if not getattr(self.objective, "deterministic", False):
+            raise ValueError(
+                "batched training requires a deterministic objective: episodes "
+                "run against snapshot weights in (possibly) separate processes "
+                "and must not share a mutable noise rng"
+            )
+        cfg = self.config
+        params = list(self.agent.parameters())
+        stats: list[EpisodeStats] = []
+        context = BatchContext(problems, self.objective, cfg, self.agent)
+        with WorkerPool(workers, context=context) as pool:
+            remaining = total
+            while remaining > 0:
+                k = min(batch_size, remaining)
+                indices = [int(rng.integers(0, len(problems))) for _ in range(k)]
+                root = int(rng.integers(0, 2**63))
+                # Every slot ships the full snapshot (pickled per task by
+                # the pool) — fine for this substrate's KB-scale agents;
+                # a per-round broadcast would be needed before scaling to
+                # models where K copies of the weights dominate a round.
+                snapshot = self.agent.state_dict()
+                rollouts = pool.map(
+                    rollout_episode,
+                    [
+                        EpisodePayload(problem_index=p, root=root, slot=s, state=snapshot)
+                        for s, p in enumerate(indices)
+                    ],
+                )
+                # Mean gradient, summed in slot order so the float op
+                # order (and thus the update) is worker-count independent.
+                for i, param in enumerate(params):
+                    acc = None
+                    for rollout in rollouts:
+                        grad = rollout.grads[i]
+                        if grad is None:
+                            continue
+                        acc = grad.copy() if acc is None else acc + grad
+                    param.grad = acc / k if acc is not None else None
+                self.optimizer.clip_grad_norm(cfg.grad_clip)
+                self.optimizer.step()
+                for rollout in rollouts:
+                    ep = EpisodeStats(
+                        episode=len(self.history),
+                        initial_value=rollout.initial_value,
+                        final_value=rollout.final_value,
+                        best_value=rollout.best_value,
+                        total_reward=rollout.total_reward,
+                        grad_norm=rollout.grad_norm,
+                    )
+                    self.history.append(ep)
+                    stats.append(ep)
+                    if callback is not None:
+                        callback(ep)
+                remaining -= k
         return stats

@@ -94,36 +94,39 @@ PAPER = Scale(
     timing_repeats=5,
 )
 
+# Sized so the full tier-1 suite (unit tests + every quick-scale
+# benchmark) stays under ~90s wall clock on one core; every experiment
+# still runs multiple episodes/cases through the paper-scale code paths.
 QUICK = Scale(
     name="quick",
-    num_tasks=10,
+    num_tasks=8,
     num_devices=5,
-    train_graphs=6,
+    train_graphs=4,
     test_cases=6,
-    episodes=30,
+    episodes=14,
     num_networks=3,
     dl_designs=2,
     dl_variants=2,
     dl_group_target=16,
     dl_devices=5,
-    dl_episodes=12,
-    dl_test_cases=3,
-    adapt_devices=10,
-    adapt_min_devices=8,
-    adapt_changes=5,
-    adapt_graphs=4,
-    case_vehicles=400,
-    case_duration_s=150.0,
+    dl_episodes=4,
+    dl_test_cases=2,
+    adapt_devices=8,
+    adapt_min_devices=6,
+    adapt_changes=3,
+    adapt_graphs=3,
+    case_vehicles=300,
+    case_duration_s=100.0,
     case_cav_fraction=0.30,
-    case_train=8,
-    case_test=6,
-    case_episodes=40,
-    convergence_episodes=15,
-    convergence_eval_every=5,
-    convergence_eval_cases=3,
-    pairwise_cases=10,
-    timing_graph_sizes=(8, 16, 32),
-    timing_repeats=2,
+    case_train=5,
+    case_test=2,
+    case_episodes=8,
+    convergence_episodes=4,
+    convergence_eval_every=2,
+    convergence_eval_cases=1,
+    pairwise_cases=6,
+    timing_graph_sizes=(6, 12, 18),
+    timing_repeats=1,
 )
 
 

@@ -6,10 +6,18 @@ evaluates every few episodes on held-out cases, across three settings:
 a single network, multiple fixed-size networks, and networks of varied
 sizes.  Expected shape: GiPH/GiPH-k converge; GraphSAGE-NE (one-way
 message passing) and GiPH-task-eft (no gpNet) are the unstable ones.
+
+Every (setting, variant) cell trains from its own seed-derived stream
+``default_rng([seed, setting_idx, variant_idx, 0])`` — so curves are
+not spuriously correlated across cells, ``--seed`` moves the whole
+figure, and the cell grid can fan out across ``workers`` processes with
+bit-identical results for any worker count.  Evaluation streams are
+shared per setting so variants stay comparable.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
@@ -20,6 +28,8 @@ from ..core.agent import GiPHAgent
 from ..core.features import FeatureConfig
 from ..core.placement import PlacementProblem
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
+from ..parallel.pool import WorkerPool, resolve_workers
+from ..parallel.pool import get_context as pool_context
 from ..sim.objectives import MakespanObjective
 from .base import ExperimentReport
 from .config import Scale
@@ -38,14 +48,21 @@ def convergence_curve(
     scale: Scale,
     rng: np.random.Generator,
     feature_config: FeatureConfig | None = None,
+    eval_seed: int | Sequence[int] = 12345,
 ) -> list[float]:
-    """Mean eval SLR after every ``convergence_eval_every`` episodes."""
+    """Mean eval SLR after every ``convergence_eval_every`` episodes.
+
+    ``eval_seed`` seeds the held-out evaluation sweep; it is re-derived
+    per evaluation point so every point of the curve (and, when callers
+    pass the same seed across variants, every variant) is measured under
+    identical evaluation conditions.
+    """
     objective = MakespanObjective()
     eval_cases = dataset.test[: scale.convergence_eval_cases]
     curve: list[float] = []
 
     def evaluate(policy) -> float:
-        result = evaluate_policies({"p": policy}, eval_cases, np.random.default_rng(12345))
+        result = evaluate_policies({"p": policy}, eval_cases, np.random.default_rng(eval_seed))
         return result.mean_final("p")
 
     if variant == "giph-task-eft":
@@ -69,7 +86,39 @@ def convergence_curve(
     return curve
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+@dataclass(frozen=True)
+class _Fig14Context:
+    """Broadcast payload for the (setting, variant) cell workers."""
+
+    scale: Scale
+    seed: int
+    datasets: list[Dataset]
+    variants: list[str]
+
+
+def _cell_curve(cell: tuple[int, int]) -> list[float]:
+    """Train and evaluate one (setting, variant) cell.
+
+    Training draws from ``default_rng([seed, setting, variant, 0])`` —
+    per-cell streams, so curves are not spuriously correlated — while
+    every evaluation point uses the *setting-shared* stream
+    ``default_rng([seed, setting, 1])``: variants are compared on
+    identical held-out cases and initial placements, which is the
+    figure's point.
+    """
+    setting_idx, variant_idx = cell
+    ctx: _Fig14Context = pool_context()
+    train_rng = np.random.default_rng([ctx.seed, setting_idx, variant_idx, 0])
+    return convergence_curve(
+        ctx.variants[variant_idx],
+        ctx.datasets[setting_idx],
+        ctx.scale,
+        train_rng,
+        eval_seed=(ctx.seed, setting_idx, 1),
+    )
+
+
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
     rng = np.random.default_rng(seed)
     settings: list[tuple[str, Dataset]] = [
         ("single network", single_network_dataset(scale, rng)),
@@ -77,6 +126,16 @@ def run(scale: Scale, seed: int = 0) -> ExperimentReport:
         ("multiple networks, varied sizes", multi_network_dataset(scale, rng, vary_sizes=True)),
     ]
     variants = [*GNN_VARIANTS, "giph-task-eft"]
+
+    cells = [(s, v) for s in range(len(settings)) for v in range(len(variants))]
+    context = _Fig14Context(
+        scale=scale,
+        seed=seed,
+        datasets=[dataset for _, dataset in settings],
+        variants=variants,
+    )
+    with WorkerPool(min(resolve_workers(workers), len(cells)), context=context) as pool:
+        flat_curves = pool.map(_cell_curve, cells)
 
     sections = []
     data: dict[str, dict[str, list[float]]] = {}
@@ -87,10 +146,10 @@ def run(scale: Scale, seed: int = 0) -> ExperimentReport:
             scale.convergence_eval_every,
         )
     )
-    for label, dataset in settings:
+    for setting_idx, (label, _) in enumerate(settings):
         curves = {
-            v: convergence_curve(v, dataset, scale, np.random.default_rng(seed + 1))
-            for v in variants
+            variants[v]: flat_curves[setting_idx * len(variants) + v]
+            for v in range(len(variants))
         }
         sections.append(banner(f"Fig. 14: convergence — {label}"))
         sections.append(

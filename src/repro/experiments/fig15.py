@@ -27,9 +27,19 @@ def run(scale: Scale, seed: int = 0) -> ExperimentReport:
     dataset = multi_network_dataset(scale, rng, vary_sizes=True)
     ablated = FeatureConfig(use_start_time_potential=False)
 
+    # Per-variant training streams (same fix as fig14: a shared
+    # default_rng(seed + 1) would correlate every curve); the shared
+    # eval stream keeps variants measured on identical held-out sweeps.
     curves = {
-        v: convergence_curve(v, dataset, scale, np.random.default_rng(seed + 1), feature_config=ablated)
-        for v in VARIANTS
+        v: convergence_curve(
+            v,
+            dataset,
+            scale,
+            np.random.default_rng([seed, i, 0]),
+            feature_config=ablated,
+            eval_seed=(seed, 1),
+        )
+        for i, v in enumerate(VARIANTS)
     }
     episodes_axis = list(
         range(

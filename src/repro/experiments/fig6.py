@@ -52,7 +52,7 @@ def adaptivity_spec(scale: Scale, seed: int = 0) -> ScenarioSpec:
     )
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
     rng = np.random.default_rng(seed)
     materialized = materialize(adaptivity_spec(scale, seed))
 
@@ -64,6 +64,8 @@ def run(scale: Scale, seed: int = 0) -> ExperimentReport:
     task_eft = train_task_eft(train_problems, rng, scale.episodes)
     placeto = train_placeto(train_problems, rng, scale.episodes)
 
+    # The six policy replays are independent (per-policy seed streams,
+    # one EvaluatorPool each), so they fan out across workers.
     result = ScenarioRunner(materialized).run(
         {
             "giph": giph_policy,
@@ -74,7 +76,8 @@ def run(scale: Scale, seed: int = 0) -> ExperimentReport:
             # "w/ retraining" baseline).
             "rnn-placer": RnnPlacerPolicy(samples_per_update=4, max_updates=8, patience=3),
             "heft": HeftPolicy(),
-        }
+        },
+        workers=workers,
     )
 
     slr_by_change = {name: result.slr_series(name) for name in POLICIES}

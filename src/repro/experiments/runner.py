@@ -22,6 +22,8 @@ from ..core.agent import GiPHAgent
 from ..core.placement import PlacementProblem, random_placement
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
 from ..core.search import SearchTrace
+from ..parallel.pool import WorkerPool, resolve_workers
+from ..parallel.pool import get_context as pool_context
 from ..runtime.evaluator import EvaluatorStats, PlacementEvaluator
 from ..sim.metrics import cp_min_lower_bound
 from ..sim.objectives import MakespanObjective, Objective
@@ -145,6 +147,63 @@ def average_curves(curves: list[np.ndarray]) -> np.ndarray:
     return np.mean(padded, axis=0)
 
 
+@dataclass(frozen=True)
+class _EvalContext:
+    """Broadcast payload for the per-case evaluation workers."""
+
+    policies: dict[str, SearchPolicy]
+    problems: list[PlacementProblem]
+    case_seeds: list[int]
+    noise: float
+    episode_multiplier: int
+    normalize_slr: bool
+    objective: Objective | None
+
+
+def _evaluate_case(case_index: int) -> dict[str, tuple]:
+    """One test case: every policy searched from a shared initial placement.
+
+    Fully determined by ``case_seeds[case_index]`` (each policy reseeds
+    from the case's derived streams), so cases may run on any worker in
+    any order without changing the sweep's result.
+    """
+    ctx: _EvalContext = pool_context()
+    problem = ctx.problems[case_index]
+    case_rng = np.random.default_rng(ctx.case_seeds[case_index])
+    initial = random_placement(problem, case_rng)
+    steps = ctx.episode_multiplier * problem.graph.num_tasks
+    denom = cp_min_lower_bound(problem.cost_model) if ctx.normalize_slr else 1.0
+    out: dict[str, tuple] = {}
+    for name, policy in ctx.policies.items():
+        if ctx.objective is not None:
+            case_objective: Objective = ctx.objective
+        elif ctx.noise > 0.0:
+            case_objective = MakespanObjective(
+                noise=ctx.noise, rng=np.random.default_rng(case_rng.integers(0, 2**63))
+            )
+        else:
+            case_objective = MakespanObjective()
+        evaluator = PlacementEvaluator(problem, case_objective)
+        began = time.perf_counter()
+        trace = policy.search(
+            problem,
+            case_objective,
+            initial,
+            steps,
+            np.random.default_rng(case_rng.integers(0, 2**63)),
+            evaluator=evaluator,
+        )
+        elapsed = time.perf_counter() - began
+        out[name] = (
+            np.asarray(trace.best_over_time) / denom,
+            trace.best_value / denom,
+            trace,
+            evaluator.stats,
+            elapsed,
+        )
+    return out
+
+
 def evaluate_policies(
     policies: Mapping[str, SearchPolicy],
     problems: Sequence[PlacementProblem],
@@ -153,48 +212,58 @@ def evaluate_policies(
     episode_multiplier: int = 2,
     normalize_slr: bool = True,
     objective: Objective | None = None,
+    workers: int = 1,
 ) -> EvalResult:
     """Run every policy on every test case from a shared initial placement.
 
     With ``normalize_slr`` (makespan experiments) values are divided by
     the CP_MIN lower bound; otherwise raw objective values are reported
     (cost/energy experiments pass their own ``objective``).
+
+    ``workers`` fans the test cases out across processes.  Case seeds
+    are drawn from ``rng`` up front in case order (the same draws the
+    serial loop makes), every per-case search reseeds from those, and
+    results are merged in case order — so curves, finals, and traces are
+    bit-identical for any worker count.  Only ``search_seconds`` is
+    wall-clock and therefore run-dependent.
     """
+    if objective is not None and not getattr(objective, "deterministic", False):
+        # Rejected at any worker count: cases run against pickled copies
+        # of the objective (worker-count independence), so a shared noise
+        # rng would be frozen per call / sampled in worker-dependent
+        # order instead of advancing across cases.
+        raise ValueError(
+            "evaluate_policies cannot share one non-deterministic objective "
+            "across cases; use the per-case `noise` parameter, which derives "
+            "an independent noise stream per (case, policy)"
+        )
     curves: dict[str, list[np.ndarray]] = {name: [] for name in policies}
     finals: dict[str, list[float]] = {name: [] for name in policies}
     traces: dict[str, list[SearchTrace]] = {name: [] for name in policies}
     stats: dict[str, EvaluatorStats] = {name: EvaluatorStats() for name in policies}
     seconds: dict[str, float] = {name: 0.0 for name in policies}
 
-    for case_index, problem in enumerate(problems):
-        case_rng = np.random.default_rng(rng.integers(0, 2**63))
-        initial = random_placement(problem, case_rng)
-        steps = episode_multiplier * problem.graph.num_tasks
-        denom = cp_min_lower_bound(problem.cost_model) if normalize_slr else 1.0
-        for name, policy in policies.items():
-            if objective is not None:
-                case_objective: Objective = objective
-            elif noise > 0.0:
-                case_objective = MakespanObjective(
-                    noise=noise, rng=np.random.default_rng(case_rng.integers(0, 2**63))
-                )
-            else:
-                case_objective = MakespanObjective()
-            evaluator = PlacementEvaluator(problem, case_objective)
-            began = time.perf_counter()
-            trace = policy.search(
-                problem,
-                case_objective,
-                initial,
-                steps,
-                np.random.default_rng(case_rng.integers(0, 2**63)),
-                evaluator=evaluator,
-            )
-            seconds[name] += time.perf_counter() - began
-            stats[name].merge(evaluator.stats)
-            curves[name].append(np.asarray(trace.best_over_time) / denom)
-            finals[name].append(trace.best_value / denom)
+    context = _EvalContext(
+        policies=dict(policies),
+        problems=list(problems),
+        case_seeds=[int(rng.integers(0, 2**63)) for _ in range(len(problems))],
+        noise=noise,
+        episode_multiplier=episode_multiplier,
+        normalize_slr=normalize_slr,
+        objective=objective,
+    )
+    with WorkerPool(
+        min(resolve_workers(workers), max(len(problems), 1)), context=context
+    ) as pool:
+        case_results = pool.map(_evaluate_case, range(len(problems)))
+
+    for case_out in case_results:
+        for name, (curve, final, trace, case_stats, elapsed) in case_out.items():
+            curves[name].append(curve)
+            finals[name].append(final)
             traces[name].append(trace)
+            stats[name].merge(case_stats)
+            seconds[name] += elapsed
 
     return EvalResult(
         curves={name: average_curves(cs) for name, cs in curves.items()},

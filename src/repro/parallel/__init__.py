@@ -1,0 +1,24 @@
+"""Seed-deterministic parallel execution (see :mod:`repro.parallel.pool`).
+
+The subsystem behind every ``--workers N`` flag: a fork-based
+:class:`WorkerPool` whose results are bit-identical for any worker
+count, plus the batched-episode machinery REINFORCE training fans out
+with.  GiPH's pitch is cheap repeated re-placement as clusters change;
+this package is what lets training sweeps, experiment grids, and
+scenario replays use every core while staying exactly reproducible.
+"""
+
+from .episodes import BatchContext, EpisodePayload, EpisodeRollout, rollout_episode
+from .pool import WorkerPool, available_workers, get_context, resolve_workers, task_rng
+
+__all__ = [
+    "WorkerPool",
+    "available_workers",
+    "get_context",
+    "resolve_workers",
+    "task_rng",
+    "BatchContext",
+    "EpisodePayload",
+    "EpisodeRollout",
+    "rollout_episode",
+]

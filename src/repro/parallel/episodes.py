@@ -1,0 +1,160 @@
+"""Batched REINFORCE episode collection (the training-side fan-out).
+
+One gradient update aggregates K on-policy episodes collected against a
+snapshot of the agent's weights:
+
+1. the trainer samples K (problem, seed-slot) pairs from its main rng,
+2. each slot rolls out one episode with the stream
+   ``task_rng(round_root, slot)`` and returns its policy gradient,
+3. the trainer averages the K gradients **in slot order** and applies a
+   single clipped optimizer step.
+
+Because every slot's randomness derives only from ``(round_root, slot)``
+and aggregation order is fixed, the resulting weights are bit-identical
+for any worker count (see ``tests/parallel/test_determinism.py``).
+Rollouts run through :func:`repro.core.reinforce.collect_episode`, the
+same code the serial trainer uses, so the two modes cannot drift.
+
+Each worker keeps its own :class:`~repro.runtime.evaluator.EvaluatorPool`
+and gpNet-builder cache on the unpickled context — caches accelerate
+repeat placements but never change deterministic values, so they are
+free to diverge between workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pool import get_context, task_rng
+
+__all__ = ["BatchContext", "EpisodePayload", "EpisodeRollout", "rollout_episode"]
+
+
+@dataclass(frozen=True)
+class EpisodePayload:
+    """One slot of a batched update round."""
+
+    problem_index: int
+    root: int  # round-level seed drawn from the trainer's main rng
+    slot: int  # position within the round; rng = task_rng(root, slot)
+    state: dict[str, np.ndarray]  # weight snapshot the episode runs against
+
+
+@dataclass(frozen=True)
+class EpisodeRollout:
+    """What a slot sends back: its gradient and episode statistics."""
+
+    slot: int
+    grads: list  # per-parameter arrays (None where a parameter got no grad)
+    grad_norm: float
+    initial_value: float
+    final_value: float
+    best_value: float
+    total_reward: float
+
+
+class BatchContext:
+    """Broadcast state for batched training workers.
+
+    Pickled once per pool; the replica agent inside is a private copy in
+    every worker (and in the inline path), so loading snapshots and
+    reseeding its rng never touches the trainer's live agent.  The
+    evaluator pool and builder cache are worker-local and rebuilt empty
+    after unpickling.
+    """
+
+    def __init__(self, problems, objective, config, agent) -> None:
+        self.problems = list(problems)
+        self.objective = objective
+        self.config = config
+        self.agent = agent
+        self._evaluators = None
+        self._builders: dict[int, object] | None = None
+
+    def __getstate__(self):
+        return {
+            "problems": self.problems,
+            "objective": self.objective,
+            "config": self.config,
+            "agent": self.agent,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._evaluators = None
+        self._builders = None
+
+    def evaluator_for(self, problem):
+        from ..runtime.evaluator import EvaluatorPool
+
+        if self._evaluators is None:
+            self._builders = {}
+            # Same lockstep pairing as ReinforceTrainer: when the pool's
+            # LRU drops a problem, the matching builder goes with it, so
+            # a long problem sweep cannot pin builders forever.
+            self._evaluators = EvaluatorPool(
+                self.objective,
+                on_evict=lambda pid, _ev: self._builders.pop(pid, None),
+            )
+        return self._evaluators.get(problem)
+
+    def builder_for(self, problem):
+        from ..core.features import GpNetBuilder
+
+        # Touch the evaluator first so the pair ages on one access pattern.
+        self.evaluator_for(problem)
+        builder = self._builders.get(id(problem))
+        if builder is None:
+            builder = GpNetBuilder(problem, self.config.feature_config)
+            self._builders[id(problem)] = builder
+        return builder
+
+
+def rollout_episode(payload: EpisodePayload) -> EpisodeRollout:
+    """Collect one episode against snapshot weights; return its gradient."""
+    from ..core.env import PlacementEnv
+    from ..core.reinforce import collect_episode, episode_loss
+
+    ctx: BatchContext = get_context()
+    cfg = ctx.config
+    agent = ctx.agent
+    agent.load_state_dict(payload.state)
+    rng = task_rng(payload.root, payload.slot)
+    agent.rng = rng
+
+    problem = ctx.problems[payload.problem_index]
+    env = PlacementEnv(
+        problem,
+        ctx.objective,
+        episode_length=cfg.episode_length,
+        feature_config=cfg.feature_config,
+        evaluator=ctx.evaluator_for(problem),
+        builder=ctx.builder_for(problem),
+    )
+    log_probs, rewards, initial_value, final_value, best_value = collect_episode(
+        agent, env, rng
+    )
+    loss = episode_loss(log_probs, rewards, cfg)
+    agent.zero_grad()
+    loss.backward()
+
+    grads: list = []
+    sq_total = 0.0
+    for param in agent.parameters():
+        if param.grad is None:
+            grads.append(None)
+        else:
+            grad = param.grad.copy()
+            grads.append(grad)
+            sq_total += float((grad**2).sum())
+    return EpisodeRollout(
+        slot=payload.slot,
+        grads=grads,
+        grad_norm=float(np.sqrt(sq_total)),
+        initial_value=initial_value,
+        final_value=final_value,
+        best_value=best_value,
+        total_reward=float(sum(rewards)),
+    )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -272,12 +272,18 @@ class EvaluatorPool:
         objective: Objective,
         cache_size: int = 4096,
         max_problems: int = 128,
+        on_evict: "Callable[[int, PlacementEvaluator], None] | None" = None,
     ) -> None:
         if max_problems < 1:
             raise ValueError("max_problems must be >= 1")
         self.objective = objective
         self.cache_size = cache_size
         self.max_problems = max_problems
+        # Called as on_evict(problem_id, evaluator) when the LRU drops a
+        # problem — owners of sibling per-problem caches (e.g. the
+        # trainer's gpNet builders) use it to evict their half in
+        # lockstep instead of aging out on a different access pattern.
+        self.on_evict = on_evict
         self._by_problem: OrderedDict[int, PlacementEvaluator] = OrderedDict()
         self._evicted_stats = EvaluatorStats()
 
@@ -290,9 +296,14 @@ class EvaluatorPool:
         evaluator = PlacementEvaluator(problem, self.objective, self.cache_size)
         self._by_problem[id(problem)] = evaluator
         if len(self._by_problem) > self.max_problems:
-            _, evicted = self._by_problem.popitem(last=False)
+            evicted_id, evicted = self._by_problem.popitem(last=False)
             self._evicted_stats.merge(evicted.stats)
+            if self.on_evict is not None:
+                self.on_evict(evicted_id, evicted)
         return evaluator
+
+    def __contains__(self, problem: PlacementProblem) -> bool:
+        return id(problem) in self._by_problem
 
     def stats(self) -> EvaluatorStats:
         """Counters aggregated across every evaluator the pool has seen."""

@@ -35,6 +35,8 @@ from ..baselines.heft import heft_placement
 from ..baselines.random_policies import RandomTaskEftPolicy
 from ..core.placement import PlacementProblem, random_placement
 from ..devices.network import DeviceNetwork
+from ..parallel.pool import WorkerPool, resolve_workers
+from ..parallel.pool import get_context as pool_context
 from ..runtime.evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluator
 from ..sim.metrics import cp_min_lower_bound
 from ..sim.objectives import MakespanObjective, Objective
@@ -43,7 +45,7 @@ from .events import MaterializedScenario, ScenarioEvent, materialize
 from .report import AdaptationReport, StepRecord
 from .spec import ScenarioSpec
 
-__all__ = ["ScenarioRunner", "ScenarioResult"]
+__all__ = ["ScenarioRunner", "ScenarioResult", "replay_scenarios"]
 
 _ORACLE_KEY = zlib.crc32(b"__fresh-search-oracle__")
 
@@ -251,10 +253,23 @@ class ScenarioRunner:
 
     # -- replay ------------------------------------------------------------------
 
-    def run(self, policies: Mapping[str, SearchPolicy]) -> ScenarioResult:
-        """Replay the scenario for every policy; see the class docstring."""
+    def run(
+        self, policies: Mapping[str, SearchPolicy], workers: int = 1
+    ) -> ScenarioResult:
+        """Replay the scenario for every policy; see the class docstring.
+
+        ``workers`` fans the policies out across processes.  Each
+        policy's replay already derives all randomness from
+        ``(spec.seed, policy name, event index)`` and keeps a private
+        :class:`EvaluatorPool`, so per-policy reports are bit-identical
+        to a serial run for any worker count (only the wall-clock
+        ``replace_seconds`` fields vary).  Workers replay pickled
+        policy copies: stateful policies (e.g. a retrained RNN placer)
+        keep their mutations worker-side, as if each had its own replica.
+        """
         if not policies:
             raise ValueError("need at least one policy")
+        workers = resolve_workers(workers)
         if self.oracle:
             if self._oracle_cache is None:
                 # Deterministic in the runner's configuration, so repeated
@@ -263,10 +278,16 @@ class ScenarioRunner:
             oracle_slr = self._oracle_cache
         else:
             oracle_slr = [0.0] * self.materialized.num_events
-        reports = {
-            name: self._run_policy(name, policy, oracle_slr)
-            for name, policy in policies.items()
-        }
+        if workers > 1 and len(policies) > 1:
+            names = list(policies)
+            context = _ReplayContext(self, dict(policies), list(oracle_slr))
+            with WorkerPool(min(workers, len(names)), context=context) as pool:
+                reports = dict(zip(names, pool.map(_replay_policy, names)))
+        else:
+            reports = {
+                name: self._run_policy(name, policy, oracle_slr)
+                for name, policy in policies.items()
+            }
         return ScenarioResult(
             materialized=self.materialized,
             reports=reports,
@@ -363,3 +384,99 @@ class ScenarioRunner:
             steps=tuple(steps),
             evaluator_stats=final_stats.as_dict(),
         )
+
+
+# -- parallel fan-out ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ReplayContext:
+    """Broadcast payload for per-policy replay workers."""
+
+    runner: ScenarioRunner
+    policies: dict[str, SearchPolicy]
+    oracle_slr: list[float]
+
+
+def _replay_policy(name: str) -> AdaptationReport:
+    ctx: _ReplayContext = pool_context()
+    return ctx.runner._run_policy(name, ctx.policies[name], ctx.oracle_slr)
+
+
+@dataclass(frozen=True)
+class _GridContext:
+    """Broadcast payload for the scenarios x policies grid."""
+
+    runners: list[ScenarioRunner]
+    policies: dict[str, SearchPolicy]
+
+
+def _grid_oracle(runner_index: int) -> list[float]:
+    ctx: _GridContext = pool_context()
+    return ctx.runners[runner_index]._oracle_slr()
+
+
+def _grid_replay(payload: tuple[int, str, list[float]]) -> AdaptationReport:
+    runner_index, name, oracle_slr = payload
+    ctx: _GridContext = pool_context()
+    return ctx.runners[runner_index]._run_policy(name, ctx.policies[name], oracle_slr)
+
+
+def replay_scenarios(
+    specs: Sequence[ScenarioSpec | MaterializedScenario],
+    policies: Mapping[str, SearchPolicy],
+    workers: int = 1,
+    episode_multiplier: int = 2,
+    reuse_evaluators: bool = True,
+    oracle: bool = True,
+) -> dict[str, ScenarioResult]:
+    """Replay several scenarios against several policies, in parallel.
+
+    The (scenario x policy) grid is embarrassingly parallel: every cell
+    derives all randomness from ``(spec.seed, policy name, event index)``
+    and owns a private :class:`EvaluatorPool` per worker.  Oracles are
+    computed first (one task per scenario), then every grid cell fans
+    out.  Results are keyed by scenario name and bit-identical to
+    running each scenario's :meth:`ScenarioRunner.run` serially (modulo
+    wall-clock fields).
+    """
+    if not policies:
+        raise ValueError("need at least one policy")
+    workers = resolve_workers(workers)
+    runners = [
+        ScenarioRunner(
+            spec,
+            episode_multiplier=episode_multiplier,
+            reuse_evaluators=reuse_evaluators,
+            oracle=oracle,
+        )
+        for spec in specs
+    ]
+    names = {runner.spec.name for runner in runners}
+    if len(names) != len(runners):
+        raise ValueError("scenario names must be unique in a grid replay")
+    if workers <= 1 or len(runners) * len(policies) <= 1:
+        return {runner.spec.name: runner.run(policies) for runner in runners}
+
+    context = _GridContext(runners=runners, policies=dict(policies))
+    with WorkerPool(workers, context=context) as pool:
+        if oracle:
+            oracles = pool.map(_grid_oracle, range(len(runners)))
+        else:
+            oracles = [[0.0] * r.materialized.num_events for r in runners]
+        cells = [
+            (i, name, oracles[i]) for i in range(len(runners)) for name in policies
+        ]
+        reports = pool.map(_grid_replay, cells)
+
+    results: dict[str, ScenarioResult] = {}
+    for (i, name, _), report in zip(cells, reports):
+        runner = runners[i]
+        if runner.spec.name not in results:
+            results[runner.spec.name] = ScenarioResult(
+                materialized=runner.materialized,
+                reports={},
+                oracle_slr=tuple(oracles[i]),
+            )
+        results[runner.spec.name].reports[name] = report
+    return results

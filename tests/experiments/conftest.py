@@ -29,12 +29,12 @@ def micro_scale():
         adapt_min_devices=5,
         adapt_changes=2,
         adapt_graphs=2,
-        case_vehicles=250,
-        case_duration_s=80.0,
+        case_vehicles=150,
+        case_duration_s=50.0,
         case_cav_fraction=0.4,
         case_train=2,
-        case_test=2,
-        case_episodes=2,
+        case_test=1,
+        case_episodes=1,
         convergence_episodes=4,
         convergence_eval_every=2,
         convergence_eval_cases=1,

@@ -1,0 +1,235 @@
+"""Worker-count independence: the parallel engine's core contract.
+
+Training, evaluation sweeps, and scenario replays must produce
+bit-identical outputs whether they run serially or fanned out — the
+only fields allowed to differ are wall-clock timings.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import RandomPlacementPolicy, RandomTaskEftPolicy
+from repro.core import (
+    GiPHAgent,
+    PlacementProblem,
+    ReinforceConfig,
+    ReinforceTrainer,
+)
+from repro.devices import DeviceNetworkParams, generate_device_network
+from repro.experiments import QUICK, fig14
+from repro.experiments.runner import HeftPolicy, evaluate_policies
+from repro.graphs import TaskGraphParams, generate_task_graph
+from repro.devices.dynamics import ChurnConfig
+from repro.scenarios import (
+    ClusterSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    WorkloadSpec,
+    replay_scenarios,
+)
+from repro.sim import MakespanObjective
+
+
+def make_problems(count: int, seed: int, num_tasks: int = 6, num_devices: int = 3):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        graph = generate_task_graph(TaskGraphParams(num_tasks=num_tasks), rng)
+        network = generate_device_network(DeviceNetworkParams(num_devices=num_devices), rng)
+        out.append(PlacementProblem(graph, network))
+    return out
+
+
+@pytest.fixture(scope="module")
+def problems():
+    return make_problems(3, seed=0)
+
+
+def train_weights(problems, batch_size, workers, episodes=6):
+    agent = GiPHAgent(np.random.default_rng(7))
+    trainer = ReinforceTrainer(agent, MakespanObjective(), ReinforceConfig(episodes=episodes))
+    stats = trainer.train(
+        problems, np.random.default_rng(42), batch_size=batch_size, workers=workers
+    )
+    return agent.state_dict(), stats
+
+
+def assert_same_weights(a, b):
+    assert a.keys() == b.keys()
+    for key in a:
+        assert np.array_equal(a[key], b[key]), key
+
+
+class TestBatchedTraining:
+    def test_batched_is_worker_count_independent(self, problems):
+        serial_w, serial_h = train_weights(problems, batch_size=3, workers=1)
+        fanned_w, fanned_h = train_weights(problems, batch_size=3, workers=4)
+        assert_same_weights(serial_w, fanned_w)
+        assert serial_h == fanned_h  # EpisodeStats are fully deterministic
+
+    def test_k1_reproduces_serial_semantics(self, problems):
+        serial_w, serial_h = train_weights(problems, batch_size=1, workers=1)
+        # K=1 must be today's serial trainer exactly — regardless of the
+        # worker count, which has nothing to fan out at K=1.
+        k1_w, k1_h = train_weights(problems, batch_size=1, workers=4)
+        assert_same_weights(serial_w, k1_w)
+        assert serial_h == k1_h
+
+    def test_batched_history_bookkeeping(self, problems):
+        _, stats = train_weights(problems, batch_size=4, workers=2, episodes=6)
+        assert len(stats) == 6
+        assert [s.episode for s in stats] == list(range(6))
+        assert all(np.isfinite(s.grad_norm) for s in stats)
+
+    def test_batched_rejects_noisy_objective(self, problems):
+        agent = GiPHAgent(np.random.default_rng(0))
+        noisy = MakespanObjective(noise=0.1, rng=np.random.default_rng(1))
+        trainer = ReinforceTrainer(agent, noisy, ReinforceConfig(episodes=2))
+        with pytest.raises(ValueError, match="deterministic"):
+            trainer.train(problems, np.random.default_rng(2), batch_size=2)
+
+
+class TestEvaluatePolicies:
+    def test_worker_count_independence(self, problems):
+        policies = {
+            "heft": HeftPolicy(),
+            "task-eft": RandomTaskEftPolicy(),
+            "random": RandomPlacementPolicy(),
+        }
+        serial = evaluate_policies(policies, problems, np.random.default_rng(5), workers=1)
+        fanned = evaluate_policies(policies, problems, np.random.default_rng(5), workers=4)
+        for name in policies:
+            assert np.array_equal(serial.curves[name], fanned.curves[name]), name
+            assert serial.finals[name] == fanned.finals[name], name
+            assert serial.traces[name] == fanned.traces[name], name
+            assert (
+                serial.evaluator_stats[name].as_dict() == fanned.evaluator_stats[name].as_dict()
+            ), name
+
+    def test_noise_path_worker_count_independent(self, problems):
+        policies = {"task-eft": RandomTaskEftPolicy()}
+        serial = evaluate_policies(
+            policies, problems, np.random.default_rng(9), noise=0.2, workers=1
+        )
+        fanned = evaluate_policies(
+            policies, problems, np.random.default_rng(9), noise=0.2, workers=3
+        )
+        assert serial.finals["task-eft"] == fanned.finals["task-eft"]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_shared_noisy_objective_rejected(self, problems, workers):
+        # Any worker count: cases see pickled objective copies, so a
+        # shared noise rng could not advance across cases as it used to.
+        shared = MakespanObjective(noise=0.1, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="non-deterministic"):
+            evaluate_policies(
+                {"r": RandomPlacementPolicy()},
+                problems,
+                np.random.default_rng(1),
+                objective=shared,
+                workers=workers,
+            )
+
+
+def deterministic_steps(report):
+    """Step fields minus wall-clock timing."""
+    return [
+        (
+            s.index,
+            s.kind,
+            s.num_graphs,
+            s.num_devices,
+            s.mean_value,
+            s.mean_slr,
+            s.oracle_slr,
+            s.regret,
+            s.migrated_tasks,
+            s.migration_cost_ms,
+            s.evaluations,
+            s.cache_hit_rate,
+        )
+        for s in report.steps
+    ]
+
+
+def tiny_spec(name: str, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        seed=seed,
+        workload=WorkloadSpec(initial_graphs=2, num_tasks=5),
+        cluster=ClusterSpec(num_devices=5),
+        churn=ChurnConfig(min_devices=4, max_devices=5, num_changes=2),
+    )
+
+
+class TestScenarioReplay:
+    POLICIES = staticmethod(
+        lambda: {"task-eft": RandomTaskEftPolicy(), "random": RandomPlacementPolicy()}
+    )
+
+    def test_worker_count_independence(self):
+        spec = tiny_spec("tiny-churn", seed=1)
+        serial = ScenarioRunner(spec).run(self.POLICIES(), workers=1)
+        fanned = ScenarioRunner(spec).run(self.POLICIES(), workers=4)
+        assert serial.oracle_slr == fanned.oracle_slr
+        for name in serial.reports:
+            assert deterministic_steps(serial.reports[name]) == deterministic_steps(
+                fanned.reports[name]
+            ), name
+            assert (
+                serial.reports[name].evaluator_stats == fanned.reports[name].evaluator_stats
+            ), name
+
+    def test_grid_replay_matches_serial(self):
+        specs = [tiny_spec("tiny-a", seed=1), tiny_spec("tiny-b", seed=2)]
+        serial = replay_scenarios(specs, self.POLICIES(), workers=1)
+        fanned = replay_scenarios(specs, self.POLICIES(), workers=3)
+        assert serial.keys() == fanned.keys()
+        for scenario, result in serial.items():
+            assert result.oracle_slr == fanned[scenario].oracle_slr
+            for name in result.reports:
+                assert deterministic_steps(result.reports[name]) == deterministic_steps(
+                    fanned[scenario].reports[name]
+                ), (scenario, name)
+
+
+@pytest.fixture(scope="module")
+def micro_fig14_scale():
+    return dataclasses.replace(
+        QUICK,
+        name="micro-fig14",
+        num_tasks=5,
+        num_devices=3,
+        train_graphs=2,
+        test_cases=2,
+        num_networks=2,
+        convergence_episodes=2,
+        convergence_eval_every=1,
+        convergence_eval_cases=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig14_serial(micro_fig14_scale):
+    return fig14.run(micro_fig14_scale, seed=3, workers=1)
+
+
+class TestFig14Seeding:
+    def test_worker_count_independence(self, micro_fig14_scale, fig14_serial):
+        fanned = fig14.run(micro_fig14_scale, seed=3, workers=2)
+        assert fig14_serial.data == fanned.data
+
+    def test_seed_changes_the_figure(self, micro_fig14_scale, fig14_serial):
+        # The seed used to be swallowed by hardcoded eval/train streams.
+        other = fig14.run(micro_fig14_scale, seed=4)
+        assert fig14_serial.data != other.data
+
+    def test_cells_draw_from_distinct_streams(self, fig14_serial):
+        # Same variant, different settings (and vice versa) must not share
+        # a training stream: identical curves across cells would be the
+        # old spurious correlation.
+        settings = list(fig14_serial.data)
+        giph_curves = [tuple(fig14_serial.data[s]["giph"]) for s in settings]
+        assert len(set(giph_curves)) > 1

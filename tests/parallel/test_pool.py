@@ -1,0 +1,101 @@
+"""WorkerPool unit tests: ordering, context broadcast, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import WorkerPool, get_context, resolve_workers, task_rng
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _scaled(x: int) -> int:
+    return x * get_context()["factor"]
+
+
+def _draw(key: tuple) -> float:
+    return float(task_rng(*key).random())
+
+
+def _mutate_context(_: int) -> int:
+    ctx = get_context()
+    ctx["items"].append(1)
+    return len(ctx["items"])
+
+
+def _boom(x: int) -> int:
+    raise RuntimeError(f"task {x} failed")
+
+
+def _nested(x: int) -> list:
+    # A task may itself open an inline pool; the outer context must be
+    # restored afterwards.
+    with WorkerPool(1, context={"factor": 10}) as inner:
+        scaled = inner.map(_scaled, [x])
+    return [scaled[0], _scaled(x)]
+
+
+class TestWorkerPool:
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_results_in_task_order(self, workers):
+        with WorkerPool(workers) as pool:
+            assert pool.map(_square, range(8)) == [x * x for x in range(8)]
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_context_broadcast(self, workers):
+        with WorkerPool(workers, context={"factor": 7}) as pool:
+            assert pool.map(_scaled, [1, 2, 3]) == [7, 14, 21]
+
+    def test_inline_context_is_a_private_copy(self):
+        # The inline path must behave like a worker: mutations land on a
+        # pickled copy, never on the caller's object.
+        original = {"items": []}
+        with WorkerPool(1, context=original) as pool:
+            counts = pool.map(_mutate_context, range(3))
+        assert counts == [1, 2, 3]  # copy persists across map calls...
+        assert original["items"] == []  # ...but the original is untouched
+
+    def test_nested_inline_pools_restore_context(self):
+        with WorkerPool(1, context={"factor": 2}) as pool:
+            results = pool.map(_nested, [5])
+        # Inner pool saw factor=10, outer context (factor=2) was restored.
+        assert results == [[50, 10]]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_task_errors_propagate(self, workers):
+        with WorkerPool(workers) as pool:
+            with pytest.raises(RuntimeError, match="failed"):
+                pool.map(_boom, [0, 1])
+
+    def test_worker_count_independence(self):
+        keys = [(11, i) for i in range(6)]
+        with WorkerPool(1) as serial, WorkerPool(3) as parallel:
+            assert serial.map(_draw, keys) == parallel.map(_draw, keys)
+
+
+class TestTaskRng:
+    def test_same_key_same_stream(self):
+        a, b = task_rng(3, 1, 4), task_rng(3, 1, 4)
+        assert np.array_equal(a.random(5), b.random(5))
+
+    def test_distinct_keys_distinct_streams(self):
+        assert task_rng(0, 1).random() != task_rng(0, 2).random()
+        assert task_rng(0, 1).random() != task_rng(1, 1).random()
+
+
+class TestResolveWorkers:
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_and_none_mean_all_cpus(self):
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
