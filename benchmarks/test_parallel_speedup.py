@@ -1,11 +1,13 @@
-"""Parallel execution engine: wall-clock scaling on a fig14-sized sweep.
+"""Parallel execution engine: wall-clock scaling on experiment sweeps.
 
 Fig. 14's grid — 7 GNN variants x 3 network settings, each cell an
 independent train-and-evaluate run — is the repo's canonical
-embarrassingly parallel workload.  The speedup benchmark times the
-sweep serially and fanned out over 4 workers and asserts >=2x scaling
-(on machines with at least 4 CPUs; the determinism half runs
-everywhere and also guards the fan-out's correctness).
+embarrassingly parallel workload; table 6's six-variant training grid
+joined it in the PR-4 seed-stream refactor as the widest formerly-serial
+experiment.  The speedup benchmarks time each sweep serially and fanned
+out over 4 workers and assert >=2x scaling (on machines with at least
+4 CPUs; the determinism half runs everywhere and also guards the
+fan-out's correctness).
 """
 
 import dataclasses
@@ -13,8 +15,10 @@ import time
 
 import pytest
 
-from repro.experiments import QUICK, fig14
+from repro.experiments import QUICK, fig14, table6
 from repro.parallel import available_workers
+
+from .conftest import record_bench
 
 # Smaller than the quick preset so the timed serial pass stays in
 # seconds, but the same 21-cell grid shape as the real figure.
@@ -78,5 +82,55 @@ def test_parallel_speedup_fig14_sweep():
     print(
         f"fig14-sized sweep (21 cells): serial {serial_seconds:.2f}s, "
         f"4 workers {fanned_seconds:.2f}s -> {speedup:.2f}x"
+    )
+    record_bench(
+        "parallel_speedup_fig14",
+        fanned_seconds,
+        serial_seconds=round(serial_seconds, 4),
+        speedup=round(speedup, 2),
+        workers=4,
+    )
+    assert speedup >= 2.0, f"expected >=2x at 4 workers, got {speedup:.2f}x"
+
+
+# Formerly-serial experiment grid (PR 4): table 6 trains six GNN-variant
+# cells on one dataset and fans both training and eval per case.  Sized
+# so the serial pass stays in seconds while each training cell is heavy
+# enough to amortize fork/broadcast overhead.
+TABLE6_SCALE = dataclasses.replace(
+    QUICK,
+    name="bench-table6-grid",
+    num_tasks=8,
+    num_devices=4,
+    train_graphs=3,
+    test_cases=4,
+    episodes=8,
+    num_networks=2,
+    pairwise_cases=4,
+)
+
+
+@pytest.mark.skipif(
+    available_workers() < 4, reason="wall-clock speedup needs >= 4 CPUs"
+)
+def test_parallel_speedup_table6_grid():
+    began = time.perf_counter()
+    serial = table6.run(TABLE6_SCALE, seed=0, workers=1)
+    serial_seconds = time.perf_counter() - began
+    began = time.perf_counter()
+    fanned = table6.run(TABLE6_SCALE, seed=0, workers=4)
+    fanned_seconds = time.perf_counter() - began
+    assert serial.data == fanned.data
+    speedup = serial_seconds / fanned_seconds
+    print(
+        f"table6 grid (6 training cells): serial {serial_seconds:.2f}s, "
+        f"4 workers {fanned_seconds:.2f}s -> {speedup:.2f}x"
+    )
+    record_bench(
+        "parallel_speedup_table6",
+        fanned_seconds,
+        serial_seconds=round(serial_seconds, 4),
+        speedup=round(speedup, 2),
+        workers=4,
     )
     assert speedup >= 2.0, f"expected >=2x at 4 workers, got {speedup:.2f}x"

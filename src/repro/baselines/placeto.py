@@ -192,6 +192,10 @@ class PlacetoAgent(AdaptivePolicy):
         """Traverse nodes once per |V| steps; restart a fresh traversal
         when the budget allows (paper §5: "we start a new search episode
         for Placeto after |V| steps")."""
+        # Per-case stream discipline (see TaskEftAgent.search): device
+        # sampling must draw from the caller's rng, not a generator whose
+        # state depends on previously searched cases.
+        self.rng = rng
         evaluator = make_evaluator(problem, objective, evaluator)
         placement = list(problem.validate_placement(initial_placement))
         placements = [tuple(placement)]

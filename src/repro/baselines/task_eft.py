@@ -128,6 +128,11 @@ class TaskEftAgent(AdaptivePolicy):
         rng: np.random.Generator,
         evaluator: PlacementEvaluator | None = None,
     ) -> SearchTrace:
+        # Sample from the caller's per-case stream (as GiPHSearchPolicy
+        # does): leaving the agent's internal rng advancing across cases
+        # couples a case's result to which cases ran before it — and on
+        # which worker — breaking worker-count independence.
+        self.rng = rng
         evaluator = make_evaluator(problem, objective, evaluator)
         placement = list(problem.validate_placement(initial_placement))
         placements = [tuple(placement)]

@@ -65,15 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--count", type=int, default=3)
     gen.add_argument("--seed", type=int, default=0)
 
+    # Help strings are generated from the experiments registry (ids and
+    # which run() signatures accept `workers`), so they cannot go stale
+    # the way a hand-maintained list did.
+    from .experiments.registry import (
+        EXPERIMENT_IDS,
+        parallel_experiment_ids,
+        serial_experiment_ids,
+    )
+
     exp = sub.add_parser("experiment", help="run a paper table/figure experiment")
-    exp.add_argument("id", help="fig4|fig5|fig6|fig7|fig9|fig11|fig14|fig15|fig16|"
-                                "table1|table6|table7")
+    exp.add_argument("id", help="|".join(EXPERIMENT_IDS))
     exp.add_argument("--scale", default=None, choices=["quick", "paper"])
     exp.add_argument("--seed", type=int, default=0)
     exp.add_argument("--workers", type=int, default=1,
-                     help="worker processes for experiments that fan out "
-                          "(fig6, fig14); results are worker-count independent "
-                          "(0 = all CPUs)")
+                     help="worker processes fanning out the experiment's "
+                          f"train/eval grid ({', '.join(parallel_experiment_ids())}; "
+                          f"serial by design: {', '.join(serial_experiment_ids())}); "
+                          "results are worker-count independent (0 = all CPUs)")
 
     scen = sub.add_parser(
         "scenario", help="replay a dynamic-cluster scenario (see repro.scenarios)"
@@ -284,21 +293,23 @@ def _scenario_policies(names: list[str]):
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
-    import importlib
-    import inspect
-
     from .experiments import PAPER, QUICK, active_scale
+    from .experiments.registry import UnknownExperimentError, get_module, supports_workers
     from .parallel import resolve_workers
 
-    module = importlib.import_module(f"repro.experiments.{args.id}")
+    try:
+        module = get_module(args.id)
+    except UnknownExperimentError as error:
+        print(f"error: {error.message}")
+        return 2
     scale = {"quick": QUICK, "paper": PAPER}.get(args.scale) if args.scale else active_scale()
     kwargs = {}
     # Experiments with an embarrassingly parallel grid accept `workers`;
-    # the rest are serial (tracked in ROADMAP.md "Open items").
-    if "workers" in inspect.signature(module.run).parameters:
+    # table1 (constants) and table7 (wall-clock timing) are serial by design.
+    if supports_workers(args.id):
         kwargs["workers"] = resolve_workers(args.workers)
     elif args.workers not in (None, 1):
-        print(f"note: experiment {args.id!r} runs serially; --workers ignored")
+        print(f"note: experiment {args.id!r} runs serially by design; --workers ignored")
     report = module.run(scale, seed=args.seed, **kwargs)
     print(report.text)
     return 0

@@ -267,11 +267,18 @@ class ReinforceTrainer:
         from ..parallel.episodes import BatchContext, EpisodePayload, rollout_episode
         from ..parallel.pool import WorkerPool
 
-        if not getattr(self.objective, "deterministic", False):
+        if not getattr(self.objective, "deterministic", False) and not hasattr(
+            self.objective, "reseeded"
+        ):
+            # Episodes run against snapshot weights in (possibly) separate
+            # processes, so a shared mutable noise rng cannot advance across
+            # them.  Objectives exposing ``reseeded(rng)`` opt into the
+            # noise-resampling mode instead: each episode draws noise from
+            # its own (round, slot)-derived stream.
             raise ValueError(
-                "batched training requires a deterministic objective: episodes "
-                "run against snapshot weights in (possibly) separate processes "
-                "and must not share a mutable noise rng"
+                "batched training needs a deterministic objective or one "
+                "supporting reseeded(rng) for per-episode noise resampling; "
+                f"{type(self.objective).__name__} is neither"
             )
         cfg = self.config
         params = list(self.agent.parameters())

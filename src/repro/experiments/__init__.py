@@ -4,63 +4,74 @@ Every module exposes ``run(scale, seed=0) -> ExperimentReport``; the
 benchmark suite executes them all (quick preset by default; set
 ``REPRO_SCALE=paper`` for paper-scale runs) and asserts the paper's
 qualitative shapes.
+
+The package imports lazily (PEP 562): the CLI pulls
+:mod:`repro.experiments.registry` on every invocation to generate its
+help strings, and eagerly importing the 13 experiment modules (each
+dragging in core/baselines/simulator machinery) here would make even
+``repro --help`` pay for all of them.  Attribute access — including
+``from repro.experiments import fig4`` — resolves the submodule or
+harness symbol on first use.
 """
 
-from . import (
-    ablation,
-    fig4,
-    fig5,
-    fig6,
-    fig7,
-    fig9,
-    fig11,
-    fig14,
-    fig15,
-    fig16,
-    table1,
-    table6,
-    table7,
-)
-from .base import ExperimentReport
+from __future__ import annotations
+
+import importlib
+
 from .config import PAPER, QUICK, Scale, active_scale
-from .datasets import Dataset, multi_network_dataset, single_network_dataset
-from .runner import (
-    EvalResult,
-    HeftPolicy,
-    average_curves,
-    evaluate_policies,
-    train_giph,
-    train_placeto,
-    train_task_eft,
+from .registry import (
+    EXPERIMENT_IDS,
+    UnknownExperimentError,
+    get_module,
+    parallel_experiment_ids,
+    serial_experiment_ids,
+    supports_workers,
 )
 
+# Lazily resolved re-exports: harness symbol -> defining submodule.
+_LAZY_SYMBOLS = {
+    "ExperimentReport": "base",
+    "Dataset": "datasets",
+    "single_network_dataset": "datasets",
+    "multi_network_dataset": "datasets",
+    "EvalResult": "runner",
+    "HeftPolicy": "runner",
+    "TrainSpec": "runner",
+    "average_curves": "runner",
+    "evaluate_policies": "runner",
+    "train_giph": "runner",
+    "train_placeto": "runner",
+    "train_policy_grid": "runner",
+    "train_task_eft": "runner",
+}
+
 __all__ = [
-    "ExperimentReport",
     "Scale",
     "PAPER",
     "QUICK",
     "active_scale",
-    "Dataset",
-    "single_network_dataset",
-    "multi_network_dataset",
-    "EvalResult",
-    "HeftPolicy",
-    "average_curves",
-    "evaluate_policies",
-    "train_giph",
-    "train_placeto",
-    "train_task_eft",
-    "ablation",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "fig9",
-    "fig11",
-    "fig14",
-    "fig15",
-    "fig16",
-    "table1",
-    "table6",
-    "table7",
+    "EXPERIMENT_IDS",
+    "UnknownExperimentError",
+    "get_module",
+    "parallel_experiment_ids",
+    "serial_experiment_ids",
+    "supports_workers",
+    *_LAZY_SYMBOLS,
+    *EXPERIMENT_IDS,
 ]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SYMBOLS:
+        module = importlib.import_module(f".{_LAZY_SYMBOLS[name]}", __name__)
+        value = getattr(module, name)
+    elif name in EXPERIMENT_IDS:
+        value = importlib.import_module(f".{name}", __name__)
+    else:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value  # cache: __getattr__ only fires on misses
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -8,9 +8,15 @@ Two implementation decisions the paper motivates but does not sweep:
   compares evaluation SLR.
 * **Message aggregation** (Eq. 1 writes a sum; §5 says mean): trains the
   GNN with each aggregation and compares.
+
+Seed-stream layout: stage 0 — dataset, stage 1 — one stream per ablated
+configuration's training cell (fanned over ``workers``), stage 2 —
+evaluation (fanned per case).
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -20,14 +26,23 @@ from ..core.env import PlacementEnv
 from ..core.gnn import TwoWayMessagePassing
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
 from ..core.search import SearchTrace
+from ..parallel.pool import fanout
+from ..parallel.pool import get_context as pool_context
 from ..sim.objectives import MakespanObjective
 from .base import ExperimentReport
 from .config import Scale
-from .datasets import multi_network_dataset
+from .datasets import Dataset, multi_network_dataset
 from .reporting import banner, format_table
 from .runner import evaluate_policies
 
 __all__ = ["run"]
+
+# (display name, masks on?, aggregation) per ablated configuration.
+CONFIGURATIONS = (
+    ("giph (masks, mean-agg)", True, "mean"),
+    ("giph (no masks)", False, "mean"),
+    ("giph (sum-agg)", True, "sum"),
+)
 
 
 class _MasklessSearchPolicy(GiPHSearchPolicy):
@@ -111,20 +126,39 @@ def _train(dataset, scale, rng, masks: bool = True, aggregation: str = "mean") -
     return agent
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
-    dataset = multi_network_dataset(scale, rng)
+@dataclass(frozen=True)
+class _AblationContext:
+    """Broadcast payload for the per-configuration training cells."""
 
-    policies = {
-        "giph (masks, mean-agg)": GiPHSearchPolicy(_train(dataset, scale, rng)),
-        "giph (no masks)": _MasklessSearchPolicy(
-            _train(dataset, scale, rng, masks=False), name="giph-no-masks"
-        ),
-        "giph (sum-agg)": GiPHSearchPolicy(
-            _train(dataset, scale, rng, aggregation="sum"), name="giph-sum"
-        ),
-    }
-    result = evaluate_policies(policies, dataset.test, rng)
+    seed: int
+    scale: Scale
+    dataset: Dataset
+
+
+def _train_configuration(config_index: int):
+    """Train one ablated configuration from its own derived stream."""
+    ctx: _AblationContext = pool_context()
+    name, masks, aggregation = CONFIGURATIONS[config_index]
+    rng = np.random.default_rng([ctx.seed, 1, config_index])
+    agent = _train(ctx.dataset, ctx.scale, rng, masks=masks, aggregation=aggregation)
+    if not masks:
+        return _MasklessSearchPolicy(agent, name="giph-no-masks")
+    return GiPHSearchPolicy(agent, name="giph-sum" if aggregation == "sum" else "giph")
+
+
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+    dataset = multi_network_dataset(scale, np.random.default_rng([seed, 0]))
+
+    context = _AblationContext(seed=seed, scale=scale, dataset=dataset)
+    policies = dict(
+        zip(
+            [name for name, _, _ in CONFIGURATIONS],
+            fanout(_train_configuration, range(len(CONFIGURATIONS)), workers, context),
+        )
+    )
+    result = evaluate_policies(
+        policies, dataset.test, np.random.default_rng([seed, 2]), workers=workers
+    )
 
     rows = [[name, result.mean_final(name)] for name in policies]
     text = "\n".join(

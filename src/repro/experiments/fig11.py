@@ -7,10 +7,17 @@ costlier moves, so incurred cost rises with frequency.
 
 Right: swapping the reward to an energy objective, GiPH's placements
 beat both random and (makespan-optimizing) HEFT on total energy.
+
+Seed-stream layout: the two panels are independent sub-experiments —
+the relocation sweep uses stages 0 (trace), 1 (training) and 2 (one
+stream per scenario cell, fanned over ``workers``); the energy
+comparison uses stages 3 (trace), 4 (training) and 5 (one stream per
+test case, fanned over ``workers``).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
@@ -18,8 +25,11 @@ import numpy as np
 from ..baselines.giph_policy import GiPHSearchPolicy
 from ..baselines.heft import heft_placement
 from ..casestudy.measurements import TABLE2_RELOCATION
+from ..core.agent import GiPHAgent
 from ..core.placement import PlacementProblem, random_placement
 from ..core.search import run_search
+from ..parallel.pool import fanout
+from ..parallel.pool import get_context as pool_context
 from ..sim.metrics import energy_cost
 from ..sim.objectives import EnergyObjective, MakespanObjective, Objective
 from ..sim.relocation import RelocationCostModel
@@ -30,6 +40,8 @@ from .reporting import banner, format_table
 from .runner import train_giph
 
 __all__ = ["run", "RelocationAwareMakespan"]
+
+FREQUENCIES = (0.1, 1.0, 10.0, 30.0)
 
 
 class RelocationAwareMakespan:
@@ -81,60 +93,113 @@ class RelocationAwareMakespan:
         return makespan + self.relocation_cost_ms(placement) / self.frequency
 
 
-def _relocation_sweep(scale: Scale, rng: np.random.Generator):
-    """Left panel: incurred relocation cost vs pipeline frequency."""
-    train, test, scenarios = case_study_problems(scale, rng)
-    agent = train_giph(train, rng, scale.case_episodes)
-    frequencies = [0.1, 1.0, 10.0, 30.0]
+@dataclass(frozen=True)
+class _RelocationContext:
+    """Broadcast payload for the per-scenario relocation-sweep cells."""
 
-    rows = []
-    incurred: dict[float, list[float]] = {f: [] for f in frequencies}
-    eval_scenarios = scenarios[: max(len(test), 1)]
-    for scenario in eval_scenarios:
-        problem = scenario.problem
-        model = RelocationCostModel(
-            TABLE2_RELOCATION,
-            {uid: t for uid, t in scenario.device_types.items() if t != "CIS"},
+    seed: int
+    agent: GiPHAgent
+    scenarios: list
+
+
+def _relocation_cell(scenario_index: int) -> dict[float, float]:
+    """One scenario's incurred relocation cost at every pipeline frequency.
+
+    The reference placement draws from ``[seed, 2, i]`` and each
+    frequency's search from ``[seed, 2, i, f]`` — the cell's result is a
+    pure function of (seed, scenario index), so cells fan out freely.
+    """
+    ctx: _RelocationContext = pool_context()
+    scenario = ctx.scenarios[scenario_index]
+    problem = scenario.problem
+    model = RelocationCostModel(
+        TABLE2_RELOCATION,
+        {uid: t for uid, t in scenario.device_types.items() if t != "CIS"},
+    )
+    reference = random_placement(
+        problem, np.random.default_rng([ctx.seed, 2, scenario_index])
+    )
+    out: dict[float, float] = {}
+    for freq_index, freq in enumerate(FREQUENCIES):
+        objective = RelocationAwareMakespan(
+            reference, model, scenario.task_kinds, problem, freq
         )
-        reference = random_placement(problem, rng)
-        for freq in frequencies:
-            objective = RelocationAwareMakespan(
-                reference, model, scenario.task_kinds, problem, freq
-            )
-            trace = run_search(
-                agent, problem, objective, reference, episode_length=problem.graph.num_tasks
-            )
-            incurred[freq].append(objective.relocation_cost_ms(trace.best_placement))
-    for freq in frequencies:
-        rows.append([freq, float(np.mean(incurred[freq]))])
+        ctx.agent.rng = np.random.default_rng([ctx.seed, 2, scenario_index, freq_index])
+        trace = run_search(
+            agent=ctx.agent,
+            problem=problem,
+            objective=objective,
+            initial_placement=reference,
+            episode_length=problem.graph.num_tasks,
+        )
+        out[freq] = objective.relocation_cost_ms(trace.best_placement)
+    return out
+
+
+def _relocation_sweep(scale: Scale, seed: int, workers: int):
+    """Left panel: incurred relocation cost vs pipeline frequency."""
+    train, test, scenarios = case_study_problems(scale, np.random.default_rng([seed, 0]))
+    agent = train_giph(train, np.random.default_rng([seed, 1]), scale.case_episodes)
+
+    eval_scenarios = scenarios[: max(len(test), 1)]
+    context = _RelocationContext(seed=seed, agent=agent, scenarios=eval_scenarios)
+    cells = fanout(_relocation_cell, range(len(eval_scenarios)), workers, context)
+
+    incurred: dict[float, list[float]] = {f: [] for f in FREQUENCIES}
+    for cell in cells:
+        for freq in FREQUENCIES:
+            incurred[freq].append(cell[freq])
+    rows = [[freq, float(np.mean(incurred[freq]))] for freq in FREQUENCIES]
     return rows, incurred
 
 
-def _energy_comparison(scale: Scale, rng: np.random.Generator):
-    """Right panel: total energy of GiPH vs HEFT vs random placements."""
-    train, test, _ = case_study_problems(scale, rng)
-    objective = EnergyObjective()
-    agent = train_giph(train, rng, scale.case_episodes, objective=objective)
-    policy = GiPHSearchPolicy(agent)
+@dataclass(frozen=True)
+class _EnergyContext:
+    """Broadcast payload for the per-case energy-comparison cells."""
 
+    seed: int
+    policy: GiPHSearchPolicy
+    problems: list[PlacementProblem]
+
+
+def _energy_cell(case_index: int) -> tuple[float, float, float]:
+    """(giph, heft, random) total energy of one test case."""
+    ctx: _EnergyContext = pool_context()
+    problem = ctx.problems[case_index]
+    objective = EnergyObjective()
+    rng = np.random.default_rng([ctx.seed, 5, case_index])
+    initial = random_placement(problem, rng)
+    trace = ctx.policy.search(
+        problem, objective, initial, 2 * problem.graph.num_tasks, rng
+    )
+    return (
+        trace.best_value,
+        energy_cost(problem.cost_model, heft_placement(problem).placement),
+        energy_cost(problem.cost_model, initial),
+    )
+
+
+def _energy_comparison(scale: Scale, seed: int, workers: int):
+    """Right panel: total energy of GiPH vs HEFT vs random placements."""
+    train, test, _ = case_study_problems(scale, np.random.default_rng([seed, 3]))
+    agent = train_giph(
+        train, np.random.default_rng([seed, 4]), scale.case_episodes,
+        objective=EnergyObjective(),
+    )
+
+    context = _EnergyContext(seed=seed, policy=GiPHSearchPolicy(agent), problems=list(test))
+    cells = fanout(_energy_cell, range(len(test)), workers, context)
     totals = {"giph": [], "heft": [], "random": []}
-    for problem in test:
-        initial = random_placement(problem, rng)
-        trace = policy.search(
-            problem, objective, initial, 2 * problem.graph.num_tasks, rng
-        )
-        totals["giph"].append(trace.best_value)
-        totals["heft"].append(
-            energy_cost(problem.cost_model, heft_placement(problem).placement)
-        )
-        totals["random"].append(energy_cost(problem.cost_model, initial))
+    for giph, heft, rand in cells:
+        totals["giph"].append(giph)
+        totals["heft"].append(heft)
+        totals["random"].append(rand)
     return {k: float(np.mean(v)) for k, v in totals.items()}
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
-    reloc_rows, incurred = _relocation_sweep(scale, rng)
-    energy = _energy_comparison(scale, rng)
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+    reloc_rows, incurred = _relocation_sweep(scale, seed, workers)
+    energy = _energy_comparison(scale, seed, workers)
 
     text = "\n".join(
         [

@@ -4,16 +4,26 @@ The EST potential aggregates neighborhood schedule information into a
 single node feature; without it GiPH-NE-Pol (no GNN) has nothing doing
 that aggregation and stops improving, while GiPH's message passing
 compensates — the least-affected variant (Appendix B.6).
+
+Per-variant training streams ``default_rng([seed, variant, 0])`` (same
+fix as fig14: a shared ``default_rng(seed + 1)`` would correlate every
+curve) with a shared eval stream ``(seed, 1)`` keeping variants measured
+on identical held-out sweeps — which is also what lets the variant cells
+fan out over ``workers`` with bit-identical curves at any worker count.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..core.features import FeatureConfig
+from ..parallel.pool import fanout
+from ..parallel.pool import get_context as pool_context
 from .base import ExperimentReport
 from .config import Scale
-from .datasets import multi_network_dataset
+from .datasets import Dataset, multi_network_dataset
 from .fig14 import convergence_curve
 from .reporting import banner, format_series
 
@@ -22,25 +32,41 @@ __all__ = ["run"]
 VARIANTS = ("giph", "giph-3", "giph-5", "giph-ne-pol")
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
+@dataclass(frozen=True)
+class _Fig15Context:
+    """Broadcast payload for the per-variant convergence cells."""
+
+    seed: int
+    scale: Scale
+    dataset: Dataset
+    feature_config: FeatureConfig
+
+
+def _variant_curve(variant_index: int) -> list[float]:
+    ctx: _Fig15Context = pool_context()
+    return convergence_curve(
+        VARIANTS[variant_index],
+        ctx.dataset,
+        ctx.scale,
+        np.random.default_rng([ctx.seed, variant_index, 0]),
+        feature_config=ctx.feature_config,
+        eval_seed=(ctx.seed, 1),
+    )
+
+
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
     rng = np.random.default_rng(seed)
     dataset = multi_network_dataset(scale, rng, vary_sizes=True)
-    ablated = FeatureConfig(use_start_time_potential=False)
 
-    # Per-variant training streams (same fix as fig14: a shared
-    # default_rng(seed + 1) would correlate every curve); the shared
-    # eval stream keeps variants measured on identical held-out sweeps.
-    curves = {
-        v: convergence_curve(
-            v,
-            dataset,
-            scale,
-            np.random.default_rng([seed, i, 0]),
-            feature_config=ablated,
-            eval_seed=(seed, 1),
-        )
-        for i, v in enumerate(VARIANTS)
-    }
+    context = _Fig15Context(
+        seed=seed,
+        scale=scale,
+        dataset=dataset,
+        feature_config=FeatureConfig(use_start_time_potential=False),
+    )
+    curves = dict(
+        zip(VARIANTS, fanout(_variant_curve, range(len(VARIANTS)), workers, context))
+    )
     episodes_axis = list(
         range(
             scale.convergence_eval_every,

@@ -5,6 +5,9 @@ GiPH's reward is swapped for the reduction of
 so GiPH should beat it (and random) on this objective — demonstrating
 objective generality.  Reported, like the paper, as total cost of the
 final placements versus task-graph depth.
+
+Seed-stream layout: stage 0 — dataset, stage 1 — training, stage 2 —
+evaluation (fanned per case over ``workers``).
 """
 
 from __future__ import annotations
@@ -13,32 +16,38 @@ from collections import defaultdict
 
 import numpy as np
 
-from ..baselines.giph_policy import GiPHSearchPolicy
 from ..baselines.random_policies import RandomPlacementPolicy
 from ..sim.objectives import TotalCostObjective
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import multi_network_dataset
 from .reporting import banner, format_table
-from .runner import HeftPolicy, evaluate_policies, train_giph
+from .runner import HeftPolicy, TrainSpec, evaluate_policies, train_policy_grid
 
 __all__ = ["run"]
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
-    dataset = multi_network_dataset(scale, rng)
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+    dataset = multi_network_dataset(scale, np.random.default_rng([seed, 0]))
     objective = TotalCostObjective()
 
+    trained = train_policy_grid(
+        [dataset.train],
+        [TrainSpec("giph", "giph", (seed, 1, 0), scale.episodes, objective=objective)],
+        workers=workers,
+    )
     policies = {
-        "giph": GiPHSearchPolicy(
-            train_giph(dataset.train, rng, scale.episodes, objective=objective)
-        ),
+        "giph": trained["giph"],
         "random": RandomPlacementPolicy(),
         "heft": HeftPolicy(),
     }
     result = evaluate_policies(
-        policies, dataset.test, rng, normalize_slr=False, objective=objective
+        policies,
+        dataset.test,
+        np.random.default_rng([seed, 2]),
+        normalize_slr=False,
+        objective=objective,
+        workers=workers,
     )
 
     by_depth: dict[int, dict[str, list[float]]] = defaultdict(lambda: defaultdict(list))

@@ -5,64 +5,113 @@ Each panel plots average SLR against the number of search steps for
 GiPH, GiPH-task-EFT, Placeto, random-task+EFT and random sampling.
 Expected shape (paper): GiPH lowest everywhere; Placeto degrades under
 noise and falls behind random in the multi-network case.
+
+Seed-stream layout (``default_rng([seed, stage, ...])``):
+
+* stage 0 — dataset generation, one stream per dataset;
+* stage 1 — training, one stream per (dataset, policy) cell, fanned out
+  over ``workers`` processes;
+* stage 2 — evaluation, one stream per dataset **shared by both noise
+  panels**: the noise-0 and noise-0.2 panels of a dataset evaluate the
+  same case seeds (same test order, same initial placements, same
+  search streams) so only the injected noise differs and the panels are
+  directly comparable.  The old threaded-through rng advanced between
+  panels, silently evaluating them on different cases.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..baselines.giph_policy import GiPHSearchPolicy
 from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import Dataset, multi_network_dataset, single_network_dataset
 from .reporting import banner, format_evaluator_stats, format_series
-from .runner import evaluate_policies, train_giph, train_placeto, train_task_eft
+from .runner import TrainSpec, evaluate_policies, train_policy_grid
 
-__all__ = ["run"]
+__all__ = ["run", "eval_stream"]
+
+_DATA, _TRAIN, _EVAL = 0, 1, 2
 
 
-def _train_panel_policies(dataset: Dataset, scale: Scale, rng: np.random.Generator):
-    """Train each panel's learned policies once per dataset.
+def eval_stream(seed: int, dataset_index: int) -> list[int]:
+    """Derivation key of a dataset's evaluation stream.
+
+    Shared by the dataset's noise-0 and noise-0.2 panels — the panel
+    comparability contract (see the module docstring and
+    ``tests/parallel/test_determinism.py``).
+    """
+    return [seed, _EVAL, dataset_index]
+
+
+def _train_specs(
+    seed: int, dataset_index: int, dataset: Dataset, scale: Scale
+) -> tuple[list[TrainSpec], list[list]]:
+    """Training cells for one dataset's panels.
 
     Training never sees the evaluation noise (§5 injects noise at test
     time only), so the noise-0 and noise-0.2 panels of a dataset share
     the same trained policies instead of paying for training twice.
     """
-    giph = train_giph(dataset.train, rng, scale.episodes)
-    task_eft = train_task_eft(dataset.train, rng, scale.episodes)
-    policies = {
-        "giph": GiPHSearchPolicy(giph),
-        "giph-task-eft": task_eft,
-        "random-task-eft": RandomTaskEftPolicy(),
-        "random": RandomPlacementPolicy(),
-    }
+    problem_sets: list[list] = [dataset.train]
+    specs = [
+        TrainSpec("giph", "giph", (seed, _TRAIN, dataset_index, 0), scale.episodes),
+        TrainSpec(
+            "giph-task-eft", "task-eft", (seed, _TRAIN, dataset_index, 1), scale.episodes
+        ),
+    ]
     device_counts = {p.network.num_devices for p in dataset.train + dataset.test}
-    if len(device_counts) == 1:
-        policies["placeto"] = train_placeto(dataset.train, rng, scale.episodes)
-    else:  # paper's multi-network case: head sized for the largest cluster
+    placeto_key = 0
+    if len(device_counts) > 1:
+        # paper's multi-network case: head sized for the largest cluster
         biggest = [p for p in dataset.train if p.network.num_devices == max(device_counts)]
-        policies["placeto"] = train_placeto(
-            biggest or dataset.train[:1], rng, scale.episodes
+        problem_sets.append(biggest or dataset.train[:1])
+        placeto_key = 1
+    specs.append(
+        TrainSpec(
+            "placeto", "placeto", (seed, _TRAIN, dataset_index, 2), scale.episodes,
+            problems_key=placeto_key,
         )
-    return policies
+    )
+    return specs, problem_sets
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    """Reproduce Fig. 4's four panels at the given scale."""
-    rng = np.random.default_rng(seed)
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+    """Reproduce Fig. 4's four panels at the given scale.
+
+    ``workers`` fans the per-dataset training cells and the per-case
+    evaluation sweeps out across processes; reports are bit-identical
+    for any worker count (wall-clock ``search_seconds`` excepted).
+    """
     sections: list[str] = []
     data: dict[str, dict] = {}
 
-    for dataset_builder, label in (
-        (single_network_dataset, "single-network"),
-        (multi_network_dataset, "multi-network"),
+    for dataset_index, (dataset_builder, label) in enumerate(
+        (
+            (single_network_dataset, "single-network"),
+            (multi_network_dataset, "multi-network"),
+        )
     ):
-        dataset = dataset_builder(scale, rng)
-        policies = _train_panel_policies(dataset, scale, rng)
+        dataset = dataset_builder(scale, np.random.default_rng([seed, _DATA, dataset_index]))
+        specs, problem_sets = _train_specs(seed, dataset_index, dataset, scale)
+        trained = train_policy_grid(problem_sets, specs, workers=workers)
+        policies = {
+            "giph": trained["giph"],
+            "giph-task-eft": trained["giph-task-eft"],
+            "random-task-eft": RandomTaskEftPolicy(),
+            "random": RandomPlacementPolicy(),
+            "placeto": trained["placeto"],
+        }
         for noise in (0.0, 0.2):
             panel = f"{label}, noise={noise}"
-            result = evaluate_policies(policies, dataset.test, rng, noise=noise)
+            result = evaluate_policies(
+                policies,
+                dataset.test,
+                np.random.default_rng(eval_stream(seed, dataset_index)),
+                noise=noise,
+                workers=workers,
+            )
             sections.append(banner(f"Fig. 4 panel: {panel}"))
             sections.append(
                 format_series(
@@ -77,6 +126,11 @@ def run(scale: Scale, seed: int = 0) -> ExperimentReport:
             # so same-seed result artifacts stay diffable.
             sections.append(format_evaluator_stats(result.evaluator_stats))
             data[panel] = {
+                "noise": noise,
+                # Provenance: the derived case-seed stream this panel
+                # evaluated under — equal across a dataset's two noise
+                # panels by construction.
+                "eval_stream": eval_stream(seed, dataset_index),
                 "curves": {k: v.tolist() for k, v in result.curves.items()},
                 "final": {k: result.mean_final(k) for k in result.finals},
                 "evaluator": {

@@ -2,6 +2,10 @@
 
 Deeper graphs have longer critical paths, so SLR rises for every method;
 GiPH should track HEFT closely and beat the other search policies.
+
+Seed-stream layout: stage 0 — dataset, stage 1 — one stream per
+training cell (fanned over ``workers``), stage 2 — evaluation (fanned
+per case).
 """
 
 from __future__ import annotations
@@ -10,29 +14,37 @@ from collections import defaultdict
 
 import numpy as np
 
-from ..baselines.giph_policy import GiPHSearchPolicy
 from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import multi_network_dataset
 from .reporting import banner, format_table
-from .runner import HeftPolicy, evaluate_policies, train_giph, train_task_eft
+from .runner import HeftPolicy, TrainSpec, evaluate_policies, train_policy_grid
 
 __all__ = ["run"]
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
-    dataset = multi_network_dataset(scale, rng)
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+    dataset = multi_network_dataset(scale, np.random.default_rng([seed, 0]))
 
+    trained = train_policy_grid(
+        [dataset.train],
+        [
+            TrainSpec("giph", "giph", (seed, 1, 0), scale.episodes),
+            TrainSpec("giph-task-eft", "task-eft", (seed, 1, 1), scale.episodes),
+        ],
+        workers=workers,
+    )
     policies = {
-        "giph": GiPHSearchPolicy(train_giph(dataset.train, rng, scale.episodes)),
-        "giph-task-eft": train_task_eft(dataset.train, rng, scale.episodes),
+        "giph": trained["giph"],
+        "giph-task-eft": trained["giph-task-eft"],
         "random-task-eft": RandomTaskEftPolicy(),
         "random": RandomPlacementPolicy(),
         "heft": HeftPolicy(),
     }
-    result = evaluate_policies(policies, dataset.test, rng)
+    result = evaluate_policies(
+        policies, dataset.test, np.random.default_rng([seed, 2]), workers=workers
+    )
 
     # Group final SLR by graph depth.
     by_depth: dict[int, dict[str, list[float]]] = defaultdict(lambda: defaultdict(list))

@@ -5,6 +5,10 @@ grouped to a fixed node count and placed on a single simulated device
 network; (b) the distribution of per-task relocation counts for GiPH,
 showing it revisits "critical" groups instead of sweeping all nodes
 uniformly as Placeto does.
+
+Seed-stream layout: stage 0 — ENAS dataset, stage 1 — one stream per
+training cell (fanned over ``workers``), stage 2 — evaluation (fanned
+per case).
 """
 
 from __future__ import annotations
@@ -13,7 +17,6 @@ from collections import Counter
 
 import numpy as np
 
-from ..baselines.giph_policy import GiPHSearchPolicy
 from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
 from ..core.placement import PlacementProblem
 from ..devices.generator import DeviceNetworkParams, generate_device_network
@@ -23,7 +26,7 @@ from .base import ExperimentReport
 from .config import Scale
 from .datasets import Dataset
 from .reporting import banner, format_series, format_table
-from .runner import evaluate_policies, train_giph, train_placeto, train_task_eft
+from .runner import TrainSpec, evaluate_policies, train_policy_grid
 
 __all__ = ["run", "build_dl_dataset"]
 
@@ -48,18 +51,28 @@ def build_dl_dataset(scale: Scale, rng: np.random.Generator) -> Dataset:
     return Dataset(problems[:half], problems[half : half + scale.dl_test_cases], "dl-graphs")
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
-    dataset = build_dl_dataset(scale, rng)
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+    dataset = build_dl_dataset(scale, np.random.default_rng([seed, 0]))
 
+    trained = train_policy_grid(
+        [dataset.train],
+        [
+            TrainSpec("giph", "giph", (seed, 1, 0), scale.dl_episodes),
+            TrainSpec("giph-task-eft", "task-eft", (seed, 1, 1), scale.dl_episodes),
+            TrainSpec("placeto", "placeto", (seed, 1, 2), scale.dl_episodes),
+        ],
+        workers=workers,
+    )
     policies = {
-        "giph": GiPHSearchPolicy(train_giph(dataset.train, rng, scale.dl_episodes)),
-        "giph-task-eft": train_task_eft(dataset.train, rng, scale.dl_episodes),
-        "placeto": train_placeto(dataset.train, rng, scale.dl_episodes),
+        "giph": trained["giph"],
+        "giph-task-eft": trained["giph-task-eft"],
+        "placeto": trained["placeto"],
         "random-task-eft": RandomTaskEftPolicy(),
         "random": RandomPlacementPolicy(),
     }
-    result = evaluate_policies(policies, dataset.test, rng)
+    result = evaluate_policies(
+        policies, dataset.test, np.random.default_rng([seed, 2]), workers=workers
+    )
 
     # (b) relocation-count histogram over GiPH's evaluation searches
     # (non-zero counts only, as in the paper).

@@ -4,20 +4,23 @@ Placement cases are extracted from the (simulated) traffic trace and
 split into train/test.  (a) plots average SLR vs search steps; (b) the
 distribution of final SLRs, where GiPH should sit at or below HEFT's
 mean.
+
+Seed-stream layout: stage 0 — trace extraction, stage 1 — one stream
+per training cell (fanned over ``workers``), stage 2 — evaluation
+(fanned per case).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..baselines.giph_policy import GiPHSearchPolicy
 from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
 from ..casestudy.trace import TraceConfig, extract_trace
 from ..casestudy.traffic import TrafficConfig
 from .base import ExperimentReport
 from .config import Scale
 from .reporting import banner, format_series, format_table
-from .runner import HeftPolicy, evaluate_policies, train_giph, train_task_eft
+from .runner import HeftPolicy, TrainSpec, evaluate_policies, train_policy_grid
 
 __all__ = ["run", "case_study_problems"]
 
@@ -44,18 +47,27 @@ def case_study_problems(scale: Scale, rng: np.random.Generator):
     return train, test, scenarios
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
-    train, test, _ = case_study_problems(scale, rng)
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+    train, test, _ = case_study_problems(scale, np.random.default_rng([seed, 0]))
 
+    trained = train_policy_grid(
+        [train],
+        [
+            TrainSpec("giph", "giph", (seed, 1, 0), scale.case_episodes),
+            TrainSpec("giph-task-eft", "task-eft", (seed, 1, 1), scale.case_episodes),
+        ],
+        workers=workers,
+    )
     policies = {
-        "giph": GiPHSearchPolicy(train_giph(train, rng, scale.case_episodes)),
-        "giph-task-eft": train_task_eft(train, rng, scale.case_episodes),
+        "giph": trained["giph"],
+        "giph-task-eft": trained["giph-task-eft"],
         "random-task-eft": RandomTaskEftPolicy(),
         "random": RandomPlacementPolicy(),
         "heft": HeftPolicy(),
     }
-    result = evaluate_policies(policies, test, rng)
+    result = evaluate_policies(
+        policies, test, np.random.default_rng([seed, 2]), workers=workers
+    )
 
     dist_rows = []
     for name in policies:

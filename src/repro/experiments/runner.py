@@ -15,6 +15,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..baselines.base import AdaptivePolicy, SearchPolicy, make_evaluator, trace_from_values
+from ..baselines.giph_policy import GiPHSearchPolicy
 from ..baselines.heft import heft_placement
 from ..baselines.placeto import PlacetoAgent, PlacetoTrainer
 from ..baselines.task_eft import TaskEftAgent, TaskEftTrainer
@@ -22,7 +23,7 @@ from ..core.agent import GiPHAgent
 from ..core.placement import PlacementProblem, random_placement
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
 from ..core.search import SearchTrace
-from ..parallel.pool import WorkerPool, resolve_workers
+from ..parallel.pool import WorkerPool, fanout, resolve_workers
 from ..parallel.pool import get_context as pool_context
 from ..runtime.evaluator import EvaluatorStats, PlacementEvaluator
 from ..sim.metrics import cp_min_lower_bound
@@ -31,9 +32,11 @@ from ..sim.objectives import MakespanObjective, Objective
 __all__ = [
     "HeftPolicy",
     "EvalResult",
+    "TrainSpec",
     "train_giph",
     "train_placeto",
     "train_task_eft",
+    "train_policy_grid",
     "evaluate_policies",
     "average_curves",
 ]
@@ -110,6 +113,76 @@ def train_task_eft(
     agent = TaskEftAgent(rng)
     TaskEftTrainer(agent, objective or MakespanObjective()).train(problems, rng, episodes)
     return agent
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """One independently trainable cell of an experiment's policy grid.
+
+    ``stream`` is the cell's full seed-derivation key (fed to
+    ``default_rng(list(stream))``), so the cell's randomness is a pure
+    function of its identity — never of which other cells train, in what
+    order, or on which worker.  ``problems_key`` indexes the problem set
+    the cell trains on (experiments with several datasets broadcast them
+    all once and point each cell at one).
+    """
+
+    name: str
+    kind: str  # "giph" | "task-eft" | "placeto"
+    stream: tuple[int, ...]
+    episodes: int
+    problems_key: int = 0
+    embedding: str = "giph"
+    objective: Objective | None = None
+
+
+@dataclass(frozen=True)
+class _TrainGridContext:
+    """Broadcast payload for the per-cell training workers."""
+
+    problem_sets: tuple
+    specs: tuple
+
+
+def _train_grid_cell(index: int) -> SearchPolicy:
+    """Train one :class:`TrainSpec` cell from its own derived stream."""
+    ctx: _TrainGridContext = pool_context()
+    spec: TrainSpec = ctx.specs[index]
+    problems = ctx.problem_sets[spec.problems_key]
+    rng = np.random.default_rng(list(spec.stream))
+    if spec.kind == "giph":
+        agent = train_giph(
+            problems, rng, spec.episodes,
+            objective=spec.objective, embedding=spec.embedding,
+        )
+        return GiPHSearchPolicy(agent, name=spec.name)
+    if spec.kind == "task-eft":
+        return train_task_eft(problems, rng, spec.episodes, objective=spec.objective)
+    if spec.kind == "placeto":
+        return train_placeto(problems, rng, spec.episodes, objective=spec.objective)
+    raise ValueError(f"unknown TrainSpec kind {spec.kind!r}")
+
+
+def train_policy_grid(
+    problem_sets: Sequence[Sequence[PlacementProblem]],
+    specs: Sequence[TrainSpec],
+    workers: int = 1,
+) -> dict[str, SearchPolicy]:
+    """Train every :class:`TrainSpec` cell, fanned out over ``workers``.
+
+    Returns ``{spec.name: trained policy}`` in spec order.  Each cell
+    draws exclusively from its own ``spec.stream``, so the mapping is
+    bit-identical for any worker count (the tentpole contract of
+    :mod:`repro.parallel`).
+    """
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ValueError("TrainSpec names must be unique within a grid")
+    context = _TrainGridContext(
+        problem_sets=tuple(list(p) for p in problem_sets), specs=tuple(specs)
+    )
+    policies = fanout(_train_grid_cell, range(len(specs)), workers, context)
+    return dict(zip(names, policies))
 
 
 @dataclass(frozen=True)

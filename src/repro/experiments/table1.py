@@ -3,6 +3,10 @@
 Table 1 and Table 2 are measured inputs in the paper; this module
 reproduces them as the constants the case study consumes and reports the
 quality of the C_i·T_j + S_j latency fit built on Table 1 (§B.4).
+
+Deliberately rng-free and serial: the tables are constants and the fit
+is a closed-form least squares, so there is no stream to derive and no
+grid to fan out (``seed`` is accepted for harness uniformity only).
 """
 
 from __future__ import annotations

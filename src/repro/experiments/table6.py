@@ -4,18 +4,21 @@ For every test case and every ordered pair of methods, count whether the
 row method's final SLR is better than / equal to / worse than the column
 method's.  Expected shape: GiPH's "better" share dominates every
 variant, and it trades roughly evenly with HEFT.
+
+Seed-stream layout: stage 0 — dataset, stage 1 — one stream per GNN
+variant's training cell (the repo's widest single-dataset training grid,
+fanned over ``workers``), stage 2 — evaluation (fanned per case).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..baselines.giph_policy import GiPHSearchPolicy
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import multi_network_dataset
 from .reporting import banner, format_table
-from .runner import HeftPolicy, evaluate_policies, train_giph, train_task_eft
+from .runner import HeftPolicy, TrainSpec, evaluate_policies, train_policy_grid
 
 __all__ = ["run", "pairwise_matrix"]
 
@@ -45,30 +48,25 @@ def pairwise_matrix(finals: dict[str, list[float]]) -> dict[tuple[str, str], tup
     return out
 
 
-def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
-    dataset = multi_network_dataset(scale, rng)
+def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+    dataset = multi_network_dataset(scale, np.random.default_rng([seed, 0]))
     test = dataset.test[: scale.pairwise_cases]
 
-    policies = {
-        "giph": GiPHSearchPolicy(train_giph(dataset.train, rng, scale.episodes)),
-        "giph-3": GiPHSearchPolicy(
-            train_giph(dataset.train, rng, scale.episodes, embedding="giph-3"), name="giph-3"
-        ),
-        "giph-5": GiPHSearchPolicy(
-            train_giph(dataset.train, rng, scale.episodes, embedding="giph-5"), name="giph-5"
-        ),
-        "giph-ne": GiPHSearchPolicy(
-            train_giph(dataset.train, rng, scale.episodes, embedding="giph-ne"), name="giph-ne"
-        ),
-        "giph-ne-pol": GiPHSearchPolicy(
-            train_giph(dataset.train, rng, scale.episodes, embedding="giph-ne-pol"),
-            name="giph-ne-pol",
-        ),
-        "giph-task-eft": train_task_eft(dataset.train, rng, scale.episodes),
-        "heft": HeftPolicy(),
-    }
-    result = evaluate_policies(policies, test, rng)
+    embeddings = ("giph", "giph-3", "giph-5", "giph-ne", "giph-ne-pol")
+    specs = [
+        TrainSpec(name, "giph", (seed, 1, i), scale.episodes, embedding=name)
+        for i, name in enumerate(embeddings)
+    ]
+    specs.append(
+        TrainSpec(
+            "giph-task-eft", "task-eft", (seed, 1, len(embeddings)), scale.episodes
+        )
+    )
+    policies = dict(train_policy_grid([dataset.train], specs, workers=workers))
+    policies["heft"] = HeftPolicy()
+    result = evaluate_policies(
+        policies, test, np.random.default_rng([seed, 2]), workers=workers
+    )
     matrix = pairwise_matrix(result.finals)
 
     rows = []

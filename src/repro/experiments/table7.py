@@ -5,6 +5,12 @@ placement step (gpNet build + embedding + policy) and (b) one training
 step amortized from a full episode, across graph sizes.  Expected shape
 (paper): GiPH's full-depth message passing grows with graph size; the
 k-step variants cap it; GiPH-NE-Pol (no GNN) is cheapest.
+
+Streams derive per stage — problems from ``[seed, 0, slot]``, each
+(variant, problem) measurement from ``[seed, 1, variant, slot]`` — but
+this module intentionally takes no ``workers``: it *is* a wall-clock
+measurement, and timing samples taken on processes contending for the
+same cores would measure the scheduler, not the policies.
 """
 
 from __future__ import annotations
@@ -81,25 +87,31 @@ def _time_variant(variant: str, problem: PlacementProblem, repeats: int, rng) ->
 
 
 def run(scale: Scale, seed: int = 0) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
     variants = [*VARIANTS, "placeto"]
 
     table7_rows = []
     fig17: dict[str, dict[str, list[float]]] = {"infer": {}, "train": {}}
-    base_problem = _problem(scale.num_tasks, scale, rng)
-    for variant in variants:
-        infer, train = _time_variant(variant, base_problem, scale.timing_repeats, rng)
+    # Slot 0 is the headline table's problem; slots 1.. the fig17 sizes.
+    base_problem = _problem(scale.num_tasks, scale, np.random.default_rng([seed, 0, 0]))
+    for variant_index, variant in enumerate(variants):
+        infer, train = _time_variant(
+            variant, base_problem, scale.timing_repeats,
+            np.random.default_rng([seed, 1, variant_index, 0]),
+        )
         table7_rows.append([variant, train, infer])
 
     size_rows = []
     for variant in variants:
         fig17["infer"][variant] = []
         fig17["train"][variant] = []
-    for size in scale.timing_graph_sizes:
-        problem = _problem(size, scale, rng)
+    for size_index, size in enumerate(scale.timing_graph_sizes):
+        problem = _problem(size, scale, np.random.default_rng([seed, 0, 1 + size_index]))
         row: list[object] = [size]
-        for variant in variants:
-            infer, train = _time_variant(variant, problem, max(1, scale.timing_repeats // 2), rng)
+        for variant_index, variant in enumerate(variants):
+            infer, train = _time_variant(
+                variant, problem, max(1, scale.timing_repeats // 2),
+                np.random.default_rng([seed, 1, variant_index, 1 + size_index]),
+            )
             fig17["infer"][variant].append(infer)
             fig17["train"][variant].append(train)
             row.append(infer)

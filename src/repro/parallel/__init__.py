@@ -9,11 +9,19 @@ scenario replays use every core while staying exactly reproducible.
 """
 
 from .episodes import BatchContext, EpisodePayload, EpisodeRollout, rollout_episode
-from .pool import WorkerPool, available_workers, get_context, resolve_workers, task_rng
+from .pool import (
+    WorkerPool,
+    available_workers,
+    fanout,
+    get_context,
+    resolve_workers,
+    task_rng,
+)
 
 __all__ = [
     "WorkerPool",
     "available_workers",
+    "fanout",
     "get_context",
     "resolve_workers",
     "task_rng",

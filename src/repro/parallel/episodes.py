@@ -15,6 +15,13 @@ for any worker count (see ``tests/parallel/test_determinism.py``).
 Rollouts run through :func:`repro.core.reinforce.collect_episode`, the
 same code the serial trainer uses, so the two modes cannot drift.
 
+Non-deterministic objectives participate through the noise-resampling
+mode: an objective exposing ``reseeded(rng)`` (e.g. a noisy
+:class:`~repro.sim.objectives.MakespanObjective`) gets a per-episode
+copy seeded from ``task_rng(round_root, slot, 1)``, so noisy training
+keeps the same worker-count-independence guarantee instead of being
+rejected.
+
 Each worker keeps its own :class:`~repro.runtime.evaluator.EvaluatorPool`
 and gpNet-builder cache on the unpickled context — caches accelerate
 repeat placements but never change deterministic values, so they are
@@ -30,6 +37,11 @@ import numpy as np
 from .pool import get_context, task_rng
 
 __all__ = ["BatchContext", "EpisodePayload", "EpisodeRollout", "rollout_episode"]
+
+# Appended to (root, slot) for the episode's noise stream, keeping it
+# independent of the rollout stream that drives action sampling and the
+# initial placement.
+_NOISE_SUBSTREAM = 1
 
 
 @dataclass(frozen=True)
@@ -116,6 +128,7 @@ def rollout_episode(payload: EpisodePayload) -> EpisodeRollout:
     """Collect one episode against snapshot weights; return its gradient."""
     from ..core.env import PlacementEnv
     from ..core.reinforce import collect_episode, episode_loss
+    from ..runtime.evaluator import PlacementEvaluator
 
     ctx: BatchContext = get_context()
     cfg = ctx.config
@@ -125,12 +138,26 @@ def rollout_episode(payload: EpisodePayload) -> EpisodeRollout:
     agent.rng = rng
 
     problem = ctx.problems[payload.problem_index]
+    objective = ctx.objective
+    if getattr(objective, "deterministic", False):
+        evaluator = ctx.evaluator_for(problem)
+    else:
+        # Noise-resampling mode: the episode scores against an objective
+        # copy whose noise stream derives from the slot's identity, so
+        # realizations are independent across episodes yet bit-identical
+        # for any worker count.  Sampled values must never enter a shared
+        # cache, so the evaluator is private to the episode (its noise-free
+        # timeline cache still serves gpNet features within the episode).
+        objective = objective.reseeded(
+            task_rng(payload.root, payload.slot, _NOISE_SUBSTREAM)
+        )
+        evaluator = PlacementEvaluator(problem, objective)
     env = PlacementEnv(
         problem,
-        ctx.objective,
+        objective,
         episode_length=cfg.episode_length,
         feature_config=cfg.feature_config,
-        evaluator=ctx.evaluator_for(problem),
+        evaluator=evaluator,
         builder=ctx.builder_for(problem),
     )
     log_probs, rewards, initial_value, final_value, best_value = collect_episode(

@@ -39,7 +39,14 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["WorkerPool", "get_context", "task_rng", "available_workers", "resolve_workers"]
+__all__ = [
+    "WorkerPool",
+    "get_context",
+    "task_rng",
+    "available_workers",
+    "resolve_workers",
+    "fanout",
+]
 
 _T = TypeVar("_T")
 
@@ -153,3 +160,23 @@ def resolve_workers(workers: int | None) -> int:
     if workers < 1:
         raise ValueError("workers must be >= 1 (or 0/None for all CPUs)")
     return workers
+
+
+def fanout(
+    fn: Callable[[Any], _T],
+    payloads: Iterable[Any],
+    workers: int | None = 1,
+    context: Any = None,
+) -> list[_T]:
+    """One-shot ordered fan-out: ``WorkerPool`` sized to the task list.
+
+    Convenience wrapper for the common experiment-grid shape — build a
+    context, map a module-level ``fn`` over payloads, tear the pool down.
+    Never spawns more processes than there are tasks, and inherits the
+    pool's determinism contract: results are in payload order and
+    bit-identical for any worker count.
+    """
+    items = list(payloads)
+    count = min(resolve_workers(workers), max(len(items), 1))
+    with WorkerPool(count, context=context) as pool:
+        return pool.map(fn, items)

@@ -16,9 +16,11 @@ implementations.  Per event it
 5. records a :class:`~repro.scenarios.report.StepRecord` with the SLR,
    the regret against a fresh-search oracle, and cache statistics.
 
-All randomness derives from ``(spec.seed, policy name, event index)``,
-so a report is bit-identical across replays and independent of which
-other policies run alongside.
+All replay randomness derives from ``(spec.seed, policy name, event
+index)`` and all oracle randomness from ``(spec.seed, oracle key, event
+index, graph index)``, so a report is bit-identical across replays,
+independent of which other policies run alongside, and independent of
+how many workers the oracle's events fan out over.
 """
 
 from __future__ import annotations
@@ -219,37 +221,72 @@ class ScenarioRunner:
 
     # -- oracle ------------------------------------------------------------------
 
-    def _oracle_slr(self) -> list[float]:
-        """Per-event fresh-search oracle SLR (mean over active graphs).
+    def _oracle_event_slr(
+        self,
+        event: ScenarioEvent,
+        problems: Sequence[PlacementProblem],
+        objective: Objective,
+        pool: EvaluatorPool | None,
+    ) -> float:
+        """Oracle SLR of one event: mean over its active graphs.
+
+        Each (event, graph) pair draws from its own stream
+        ``default_rng([seed, _ORACLE_KEY, event.index, graph_index])``,
+        so the oracle value of an event is a pure function of that
+        event's identity — the property that lets events fan out over
+        workers (and keeps graph ``j``'s oracle independent of how many
+        graphs arrived before it).
+        """
+        searcher = RandomTaskEftPolicy()
+        slrs = []
+        for graph_index, problem in enumerate(problems):
+            rng = np.random.default_rng(
+                [self.spec.seed, _ORACLE_KEY, event.index, graph_index]
+            )
+            evaluator = self._evaluator(pool, problem, objective)
+            heft_value = evaluator.evaluate(heft_placement(problem).placement)
+            trace = searcher.search(
+                problem,
+                objective,
+                random_placement(problem, rng),
+                self.episode_multiplier * problem.graph.num_tasks,
+                rng,
+                evaluator=evaluator,
+            )
+            denom = self._denominator(problem, objective)
+            slrs.append(min(heft_value, trace.best_value) / denom)
+        return float(np.mean(slrs))
+
+    def _oracle_slr(self, workers: int = 1) -> list[float]:
+        """Per-event fresh-search oracle SLR series.
 
         The oracle ignores placement carry-over: per (event, graph) it
         takes the better of HEFT and a random-task-EFT search started
         from a fresh random placement with the same step budget.
+        ``workers`` fans the events out across processes; per-(event,
+        graph) streams make the series bit-identical at any worker count.
         """
+        # Snapshot each yield: _replay_state mutates and re-yields the
+        # same problems list across consecutive arrivals, so collecting
+        # bare references would hand every arrival the final grown list
+        # (an earlier event's oracle would average over graphs that have
+        # not arrived yet).
+        states = [
+            (event, list(problems))
+            for event, problems, _ in self._replay_state()
+            if event is not None
+        ]
+        workers = min(resolve_workers(workers), max(len(states), 1))
+        if workers > 1:
+            context = _OracleContext(self, states)
+            with WorkerPool(workers, context=context) as pool:
+                return pool.map(_oracle_event, range(len(states)))
         objective = self.spec.make_objective()
         pool = EvaluatorPool(objective) if self.reuse_evaluators else None
-        searcher = RandomTaskEftPolicy()
-        out: list[float] = []
-        for event, problems, _ in self._replay_state():
-            if event is None:
-                continue
-            rng = np.random.default_rng([self.spec.seed, _ORACLE_KEY, event.index])
-            slrs = []
-            for problem in problems:
-                evaluator = self._evaluator(pool, problem, objective)
-                heft_value = evaluator.evaluate(heft_placement(problem).placement)
-                trace = searcher.search(
-                    problem,
-                    objective,
-                    random_placement(problem, rng),
-                    self.episode_multiplier * problem.graph.num_tasks,
-                    rng,
-                    evaluator=evaluator,
-                )
-                denom = self._denominator(problem, objective)
-                slrs.append(min(heft_value, trace.best_value) / denom)
-            out.append(float(np.mean(slrs)))
-        return out
+        return [
+            self._oracle_event_slr(event, problems, objective, pool)
+            for event, problems in states
+        ]
 
     # -- replay ------------------------------------------------------------------
 
@@ -258,7 +295,9 @@ class ScenarioRunner:
     ) -> ScenarioResult:
         """Replay the scenario for every policy; see the class docstring.
 
-        ``workers`` fans the policies out across processes.  Each
+        ``workers`` fans the fresh-search oracle's events out across
+        processes (each (event, graph) pair owns a derived stream), then
+        fans the policies out the same way.  Each
         policy's replay already derives all randomness from
         ``(spec.seed, policy name, event index)`` and keeps a private
         :class:`EvaluatorPool`, so per-policy reports are bit-identical
@@ -274,7 +313,7 @@ class ScenarioRunner:
             if self._oracle_cache is None:
                 # Deterministic in the runner's configuration, so repeated
                 # run() calls (policy sweeps, benchmarks) pay for it once.
-                self._oracle_cache = self._oracle_slr()
+                self._oracle_cache = self._oracle_slr(workers=workers)
             oracle_slr = self._oracle_cache
         else:
             oracle_slr = [0.0] * self.materialized.num_events
@@ -387,6 +426,48 @@ class ScenarioRunner:
 
 
 # -- parallel fan-out ---------------------------------------------------------------
+
+
+class _OracleContext:
+    """Broadcast payload for the per-event oracle workers.
+
+    ``states`` is pickled as one object graph, so problem identity is
+    preserved within each worker's copy and the worker-local
+    :class:`EvaluatorPool` keeps paying off across the events that land
+    on that worker (caches change speed, never values).
+    """
+
+    def __init__(
+        self,
+        runner: ScenarioRunner,
+        states: Sequence[tuple[ScenarioEvent, list[PlacementProblem]]],
+    ) -> None:
+        self.runner = runner
+        self.states = list(states)
+        self._objective: Objective | None = None
+        self._pool: EvaluatorPool | None = None
+
+    def __getstate__(self):
+        return {"runner": self.runner, "states": self.states}
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._objective = None
+        self._pool = None
+
+    def scoring(self) -> tuple[Objective, EvaluatorPool | None]:
+        if self._objective is None:
+            self._objective = self.runner.spec.make_objective()
+            if self.runner.reuse_evaluators:
+                self._pool = EvaluatorPool(self._objective)
+        return self._objective, self._pool
+
+
+def _oracle_event(index: int) -> float:
+    ctx: _OracleContext = pool_context()
+    event, problems = ctx.states[index]
+    objective, pool = ctx.scoring()
+    return ctx.runner._oracle_event_slr(event, problems, objective, pool)
 
 
 @dataclass(frozen=True)

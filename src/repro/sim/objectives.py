@@ -59,6 +59,19 @@ class MakespanObjective:
         """Noise-free evaluations are repeatable (hence cacheable)."""
         return self.noise == 0.0
 
+    def reseeded(self, rng: np.random.Generator) -> "MakespanObjective":
+        """Copy of this objective drawing noise from ``rng`` instead.
+
+        The hook behind noise-resampling parallel modes: rather than
+        sharing one mutable noise stream across episodes/processes (which
+        would make results depend on execution order), each unit of work
+        derives its own stream and asks for a reseeded objective copy.
+        Noise-free objectives return an equivalent noise-free copy.
+        """
+        return MakespanObjective(
+            noise=self.noise, rng=rng if self.noise > 0 else None
+        )
+
     def evaluate(self, cost_model: CostModel, placement: Sequence[int]) -> float:
         result = simulate(
             cost_model.graph,

@@ -18,7 +18,7 @@ from repro.core import (
     ReinforceTrainer,
 )
 from repro.devices import DeviceNetworkParams, generate_device_network
-from repro.experiments import QUICK, fig14
+from repro.experiments import QUICK, fig4, fig14, table6
 from repro.experiments.runner import HeftPolicy, evaluate_policies
 from repro.graphs import TaskGraphParams, generate_task_graph
 from repro.devices.dynamics import ChurnConfig
@@ -83,12 +83,52 @@ class TestBatchedTraining:
         assert [s.episode for s in stats] == list(range(6))
         assert all(np.isfinite(s.grad_norm) for s in stats)
 
-    def test_batched_rejects_noisy_objective(self, problems):
+    def test_batched_rejects_unreseedable_noisy_objective(self, problems):
+        class OpaqueNoisy:
+            """Non-deterministic and no ``reseeded`` hook."""
+
+            deterministic = False
+
+            def evaluate(self, cost_model, placement):
+                return 1.0
+
         agent = GiPHAgent(np.random.default_rng(0))
-        noisy = MakespanObjective(noise=0.1, rng=np.random.default_rng(1))
-        trainer = ReinforceTrainer(agent, noisy, ReinforceConfig(episodes=2))
-        with pytest.raises(ValueError, match="deterministic"):
+        trainer = ReinforceTrainer(agent, OpaqueNoisy(), ReinforceConfig(episodes=2))
+        with pytest.raises(ValueError, match="reseeded"):
             trainer.train(problems, np.random.default_rng(2), batch_size=2)
+
+
+def train_noisy_weights(problems, workers, batch_size=3, episodes=6):
+    agent = GiPHAgent(np.random.default_rng(7))
+    trainer = ReinforceTrainer(
+        agent,
+        MakespanObjective(noise=0.2, rng=np.random.default_rng(1)),
+        ReinforceConfig(episodes=episodes),
+    )
+    stats = trainer.train(
+        problems, np.random.default_rng(42), batch_size=batch_size, workers=workers
+    )
+    return agent.state_dict(), stats
+
+
+class TestNoiseResamplingTraining:
+    """Batched REINFORCE with a noisy objective: per-episode derived
+    noise streams instead of the old blanket rejection."""
+
+    def test_worker_count_independence(self, problems):
+        serial_w, serial_h = train_noisy_weights(problems, workers=1)
+        fanned_w, fanned_h = train_noisy_weights(problems, workers=4)
+        assert_same_weights(serial_w, fanned_w)
+        assert serial_h == fanned_h
+
+    def test_noise_actually_resampled(self, problems):
+        # The noisy run must differ from the noise-free run — otherwise
+        # the mode silently dropped the noise instead of deriving streams.
+        noisy_w, _ = train_noisy_weights(problems, workers=1)
+        clean_w, _ = train_weights(problems, batch_size=3, workers=1)
+        assert any(
+            not np.array_equal(noisy_w[key], clean_w[key]) for key in noisy_w
+        )
 
 
 class TestEvaluatePolicies:
@@ -131,6 +171,24 @@ class TestEvaluatePolicies:
                 objective=shared,
                 workers=workers,
             )
+
+
+class TestNoiseSharedCaseStreams:
+    """The fig4 panel-comparability mechanism: handing evaluate_policies
+    equal-seeded rngs must evaluate the same case streams regardless of
+    the noise level, so panels differ only in the injected noise."""
+
+    def test_noise_level_does_not_move_case_streams(self, problems):
+        policies = {"random": RandomPlacementPolicy()}
+        clean = evaluate_policies(policies, problems, np.random.default_rng(11), noise=0.0)
+        noisy = evaluate_policies(policies, problems, np.random.default_rng(11), noise=0.3)
+        # Random search proposes placements independently of objective
+        # values, so identical case streams mean identical relocation
+        # sequences — while the sampled values themselves differ.
+        assert [t.relocation_counts for t in clean.traces["random"]] == [
+            t.relocation_counts for t in noisy.traces["random"]
+        ]
+        assert clean.finals["random"] != noisy.finals["random"]
 
 
 def deterministic_steps(report):
@@ -233,3 +291,88 @@ class TestFig14Seeding:
         settings = list(fig14_serial.data)
         giph_curves = [tuple(fig14_serial.data[s]["giph"]) for s in settings]
         assert len(set(giph_curves)) > 1
+
+
+@pytest.fixture(scope="module")
+def micro_experiment_scale():
+    """Smallest scale exercising the formerly-serial experiment grids."""
+    return dataclasses.replace(
+        QUICK,
+        name="micro-parallel",
+        num_tasks=5,
+        num_devices=3,
+        train_graphs=2,
+        test_cases=2,
+        episodes=2,
+        num_networks=2,
+        pairwise_cases=2,
+    )
+
+
+class TestFig4Parallel:
+    """fig4 joined the parallel rollout in PR 4: training cells and eval
+    cases fan out, and the two noise panels of a dataset share case
+    seeds (the seed version evaluated them on different cases)."""
+
+    @pytest.fixture(scope="class")
+    def serial(self, micro_experiment_scale):
+        return fig4.run(micro_experiment_scale, seed=3, workers=1)
+
+    @staticmethod
+    def deterministic_data(report):
+        return {
+            panel: {k: v for k, v in payload.items() if k != "search_seconds"}
+            for panel, payload in report.data.items()
+        }
+
+    def test_worker_count_independence(self, micro_experiment_scale, serial):
+        fanned = fig4.run(micro_experiment_scale, seed=3, workers=4)
+        assert self.deterministic_data(serial) == self.deterministic_data(fanned)
+
+    def test_noise_panels_are_comparable(self, serial):
+        # Panels of one dataset must record the same eval stream (same
+        # case seeds / initial placements); panels of different datasets
+        # must not.
+        by_dataset: dict[str, list] = {}
+        for panel, payload in serial.data.items():
+            dataset = panel.split(",")[0]
+            by_dataset.setdefault(dataset, []).append(payload["eval_stream"])
+        for dataset, streams in by_dataset.items():
+            assert len(streams) == 2 and streams[0] == streams[1], dataset
+        (single_stream, _), (multi_stream, _) = by_dataset.values()
+        assert single_stream != multi_stream
+
+    def test_seed_moves_the_figure(self, micro_experiment_scale, serial):
+        other = fig4.run(micro_experiment_scale, seed=4, workers=1)
+        assert self.deterministic_data(serial) != self.deterministic_data(other)
+
+
+class TestTable6Parallel:
+    """table6's six-variant training grid — the widest formerly-serial
+    single-dataset grid — fans out with bit-identical reports."""
+
+    def test_worker_count_independence(self, micro_experiment_scale):
+        serial = table6.run(micro_experiment_scale, seed=3, workers=1)
+        fanned = table6.run(micro_experiment_scale, seed=3, workers=4)
+        assert serial.data == fanned.data
+
+
+class TestInRunOracle:
+    """The fresh-search oracle inside a single ScenarioRunner.run fans
+    its events out; per-(event, graph) streams keep the series fixed."""
+
+    def test_oracle_worker_count_independence(self):
+        spec = tiny_spec("oracle-fanout", seed=9)
+        serial = ScenarioRunner(spec)._oracle_slr(workers=1)
+        fanned = ScenarioRunner(spec)._oracle_slr(workers=4)
+        assert serial == fanned
+
+    def test_oracle_independent_of_replayed_policies(self):
+        # run() computes the oracle with the caller's worker count; the
+        # resulting series must match a pure serial oracle pass.
+        spec = tiny_spec("oracle-in-run", seed=9)
+        baseline = ScenarioRunner(spec)._oracle_slr(workers=1)
+        result = ScenarioRunner(spec).run(
+            {"task-eft": RandomTaskEftPolicy()}, workers=3
+        )
+        assert list(result.oracle_slr) == baseline

@@ -101,15 +101,35 @@ class TestReplaySemantics:
         calls = 0
         original = runner._oracle_slr
 
-        def counting():
+        def counting(workers=1):
             nonlocal calls
             calls += 1
-            return original()
+            return original(workers=workers)
 
         runner._oracle_slr = counting
         runner.run({"task-eft": RandomTaskEftPolicy()})
         runner.run({"random": RandomPlacementPolicy()})
         assert calls == 1
+
+    def test_oracle_event_unaffected_by_later_arrivals(self, small_spec):
+        # An event's oracle SLR is a pure function of that event's
+        # identity: graphs arriving at later events must not leak into
+        # it.  Consecutive arrivals share (and mutate) one problems list
+        # inside _replay_state, so materializing its yields without
+        # snapshotting hands earlier arrivals the final grown list —
+        # the regression this pins down.
+        base = dataclasses.replace(
+            small_spec,
+            workload=dataclasses.replace(small_spec.workload, arrivals=((1, 1), (2, 1))),
+            churn=dataclasses.replace(small_spec.churn, num_changes=0),
+        )
+        truncated = dataclasses.replace(
+            base, workload=dataclasses.replace(base.workload, arrivals=((1, 1),))
+        )
+        full_series = ScenarioRunner(base)._oracle_slr()
+        truncated_series = ScenarioRunner(truncated)._oracle_slr()
+        assert len(full_series) == 2 and len(truncated_series) == 1
+        assert full_series[0] == truncated_series[0]
 
 
 class TestDeterminism:

@@ -81,6 +81,94 @@ class TestWorkflow:
         assert "Table 1" in capsys.readouterr().out
 
 
+class TestExperimentRegistry:
+    def test_unknown_id_fails_cleanly(self, capsys):
+        # Used to escape as a raw ModuleNotFoundError traceback.
+        rc = main(["experiment", "no-such-figure"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "unknown experiment 'no-such-figure'" in out
+        assert "fig4" in out and "ablation" in out  # lists every valid id
+
+    def test_id_list_matches_package_contents(self):
+        # The registry is the source of truth for CLI help; this pins it
+        # to the modules that actually exist so neither can drift (the
+        # old hand-written help string omitted `ablation`).
+        import pathlib
+
+        import repro.experiments as experiments
+        from repro.experiments.registry import EXPERIMENT_IDS
+
+        package_dir = pathlib.Path(experiments.__file__).parent
+        harness = {
+            "base", "config", "datasets", "registry", "reporting", "runner",
+        }
+        modules = {
+            p.stem
+            for p in package_dir.glob("*.py")
+            if p.stem not in harness and not p.stem.startswith("_")
+        }
+        assert set(EXPERIMENT_IDS) == modules
+
+    def test_help_generated_from_registry(self, capsys):
+        from repro.experiments.registry import (
+            EXPERIMENT_IDS,
+            parallel_experiment_ids,
+            serial_experiment_ids,
+        )
+
+        with pytest.raises(SystemExit):
+            main(["experiment", "--help"])
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENT_IDS:
+            assert experiment_id in out, experiment_id
+        # The stale hardcoded "(fig6, fig14)" workers note is gone: every
+        # parallel id is named, and the serial-by-design ones separately.
+        for experiment_id in parallel_experiment_ids():
+            assert experiment_id in out
+        assert serial_experiment_ids() == ("table1", "table7")
+
+    def test_static_split_matches_run_signatures(self):
+        # SERIAL_EXPERIMENT_IDS is declared statically (so help
+        # generation stays import-free); this introspects every module's
+        # actual `run` signature so the declaration cannot drift.
+        from repro.experiments.registry import (
+            EXPERIMENT_IDS,
+            SERIAL_EXPERIMENT_IDS,
+            supports_workers,
+        )
+
+        for experiment_id in EXPERIMENT_IDS:
+            expected = experiment_id not in SERIAL_EXPERIMENT_IDS
+            assert supports_workers(experiment_id) is expected, experiment_id
+
+    def test_help_does_not_import_experiment_modules(self):
+        # The CLI builds help from the registry on every invocation;
+        # generating it must never pull in the experiment modules (and
+        # the machinery behind them) for `repro --help` or
+        # non-experiment subcommands.
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "from repro.cli import build_parser\n"
+            "from repro.experiments.registry import EXPERIMENT_IDS\n"
+            "build_parser()\n"
+            "heavy = set(EXPERIMENT_IDS) | {'runner', 'datasets'}\n"
+            "loaded = [m for m in sys.modules\n"
+            "          if m.rpartition('.')[0] == 'repro.experiments'\n"
+            "          and m.rpartition('.')[2] in heavy]\n"
+            "assert not loaded, loaded\n"
+        )
+        subprocess.run([sys.executable, "-c", code], check=True)
+
+    def test_serial_experiment_notes_ignored_workers(self, capsys):
+        rc = main(["experiment", "table1", "--scale", "quick", "--workers", "3"])
+        assert rc == 0
+        assert "runs serially by design" in capsys.readouterr().out
+
+
 class TestScenario:
     def test_list_shows_every_preset(self, capsys):
         from repro.scenarios import DEFAULT_REGISTRY
