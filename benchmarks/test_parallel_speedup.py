@@ -7,7 +7,9 @@ joined it in the PR-4 seed-stream refactor as the widest formerly-serial
 experiment.  The speedup benchmarks time each sweep serially and fanned
 out over 4 workers and assert >=2x scaling (on machines with at least
 4 CPUs; the determinism half runs everywhere and also guards the
-fan-out's correctness).
+fan-out's correctness).  The shard-backend row times the full
+plan -> run -> run -> merge lifecycle against the fork run it must
+reproduce byte-for-byte, recording the orchestration overhead.
 """
 
 import dataclasses
@@ -134,3 +136,40 @@ def test_parallel_speedup_table6_grid():
         workers=4,
     )
     assert speedup >= 2.0, f"expected >=2x at 4 workers, got {speedup:.2f}x"
+
+
+def test_shard_roundtrip_matches_fork(tmp_path):
+    """PR-5 shard backend: the full two-shard lifecycle on one host.
+
+    Sequential local shards cannot beat the fork run (shard 0 computes
+    every cell it needs; shard 1 and the merge are store loads) — this
+    row tracks the *overhead* of store-mediated execution plus the
+    byte-identity the sharding contract promises.  True speedup comes
+    from concurrent shards on separate machines/terminals, which CI's
+    sharded-equivalence job and tests/shard exercise.
+    """
+    from repro.shard import merge_shards, plan, run_shard
+
+    began = time.perf_counter()
+    fork = fig14.run(MICRO_SCALE, seed=0, workers=2)
+    fork_seconds = time.perf_counter() - began
+
+    began = time.perf_counter()
+    for manifest in plan("fig14", 2, 0, MICRO_SCALE, tmp_path):
+        run_shard(manifest)
+    merged = merge_shards([tmp_path])
+    shard_seconds = time.perf_counter() - began
+
+    assert merged.to_json() == fork.to_json()
+    overhead = shard_seconds / fork_seconds
+    print(
+        f"fig14 micro sweep: fork(2) {fork_seconds:.2f}s, "
+        f"plan+2 runs+merge {shard_seconds:.2f}s ({overhead:.2f}x)"
+    )
+    record_bench(
+        "parallel_shard_roundtrip_fig14",
+        shard_seconds,
+        fork_seconds=round(fork_seconds, 4),
+        overhead=round(overhead, 2),
+        shards=2,
+    )

@@ -8,15 +8,19 @@ least one interacting CAV, and yields the corresponding scenarios.
 
 from __future__ import annotations
 
+import dataclasses
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from ..store import active_store, fingerprint
 from .devicemodel import LatencyFit, fit_latency_model
 from .pipeline import CaseStudyScenario, EdgeDeviceLayout, PipelineConfig, SensorFusionBuilder
 from .traffic import TrafficConfig, TrafficSimulation
 
-__all__ = ["TraceConfig", "extract_trace"]
+__all__ = ["TraceConfig", "extract_trace", "extract_trace_cached", "trace_key"]
 
 
 @dataclass(frozen=True)
@@ -70,3 +74,78 @@ def extract_trace(
             if config.max_cases is not None and len(scenarios) >= config.max_cases:
                 return scenarios
     return scenarios
+
+
+def trace_key(config: TraceConfig, stream: Sequence[int]) -> dict:
+    """Cache key of one trace extraction: full config + seed stream.
+
+    The extraction is a pure function of ``(config, stream)`` — the
+    traffic simulation, the edge-device layout, and the scenario walk
+    all draw exclusively from ``default_rng(list(stream))`` — which is
+    what makes memoizing it sound.
+    """
+    return {
+        "kind": "case-study-trace",
+        "config": dataclasses.asdict(config),
+        "stream": list(stream),
+    }
+
+
+# In-process memo: trace fingerprint -> scenario list.  Small LRU — a
+# session touches a handful of (scale, stream) combinations at most.
+_MEMO_MAX = 8
+_MEMO: OrderedDict[str, list[CaseStudyScenario]] = OrderedDict()
+
+
+def extract_trace_cached(
+    config: TraceConfig, stream: Sequence[int], fit: LatencyFit | None = None
+) -> tuple[list[CaseStudyScenario], str]:
+    """Memoized :func:`extract_trace` keyed by ``(config, stream)``.
+
+    Returns ``(scenarios, source)`` where ``source`` is ``"memory"``
+    (in-process memo), ``"store"`` (the process-wide
+    :func:`repro.store.active_store` — how shard runs and repeated CLI
+    invocations share one extraction), or ``"extracted"`` (computed here
+    and published to both cache layers).  fig9 and fig11 used to run
+    this simulation three times between them per (scale, seed); routed
+    through here they pay for each distinct stream once per store.
+
+    Callers must treat the returned scenarios as read-only: the memo
+    hands the same objects to every in-process caller (exactly like the
+    shared dataset objects the experiment harness already broadcasts).
+
+    Only default-fit extractions are cached: a custom ``fit`` is not
+    part of the cache key, so caching it would serve its scenarios to
+    default-fit callers (and vice versa) — those calls bypass both
+    cache layers instead.
+    """
+    if fit is not None:
+        return extract_trace(config, np.random.default_rng(list(stream)), fit=fit), (
+            "extracted"
+        )
+    key = trace_key(config, stream)
+    address = fingerprint(key)
+    store = active_store()
+    if address in _MEMO:
+        _MEMO.move_to_end(address)
+        if store is not None:
+            # Publish memory-cached extractions too: a trace first
+            # extracted before the store was installed (or by a plain
+            # run sharing this process) must still reach shard peers
+            # and the merge pass.
+            store.save("trace", key, _MEMO[address])
+        return _MEMO[address], "memory"
+
+    source = "extracted"
+    scenarios: list[CaseStudyScenario] | None = None
+    if store is not None and store.has("trace", key):
+        scenarios = store.load("trace", key)
+        source = "store"
+    if scenarios is None:
+        scenarios = extract_trace(config, np.random.default_rng(list(stream)))
+        if store is not None:
+            store.save("trace", key, scenarios)
+    _MEMO[address] = scenarios
+    while len(_MEMO) > _MEMO_MAX:
+        _MEMO.popitem(last=False)
+    return scenarios, source

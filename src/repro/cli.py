@@ -8,7 +8,10 @@ Subcommands (Artifact Appendix A.5-A.6):
                     against random / HEFT references;
 * ``generate``    — sample task graphs and device networks and describe
                     them (the Generate_data.ipynb equivalent);
-* ``experiment``  — run one of the paper's table/figure experiments.
+* ``experiment``  — run one of the paper's table/figure experiments,
+                    on a selectable execution backend;
+* ``shard``       — plan/run/merge an experiment split across processes
+                    or machines (file-based transport, see repro.shard).
 
 Usage:  python -m repro train --episodes 50 --logdir runs
 """
@@ -58,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     test.add_argument("--num-testing-cases", type=int, default=20)
     test.add_argument("--noise", type=float, default=0.0)
     test.add_argument("--seed", type=int, default=1)
+    test.add_argument("--workers", type=int, default=1,
+                      help="evaluate test cases on this many processes "
+                           "(results are worker-count independent; 0 = all CPUs)")
 
     gen = sub.add_parser("generate", help="sample and describe synthetic data")
     gen.add_argument("--num-tasks", type=int, default=12)
@@ -83,6 +89,51 @@ def build_parser() -> argparse.ArgumentParser:
                           f"train/eval grid ({', '.join(parallel_experiment_ids())}; "
                           f"serial by design: {', '.join(serial_experiment_ids())}); "
                           "results are worker-count independent (0 = all CPUs)")
+    exp.add_argument("--backend", default=None, choices=["inline", "fork", "shard"],
+                     help="execution backend (default: inline at --workers 1, fork "
+                          "otherwise); an explicit 'fork' without --workers uses all "
+                          "CPUs; 'shard' plans/runs/merges locally in one go — "
+                          "reports are backend-independent")
+    exp.add_argument("--shards", type=int, default=2,
+                     help="shard count for --backend shard")
+    exp.add_argument("--out", default=None,
+                     help="plan directory for --backend shard "
+                          "(default: runs/shards/<id>-seed<seed>-<scale>)")
+    exp.add_argument("--json", default=None, metavar="PATH",
+                     help="also write the report's canonical JSON (volatile "
+                          "wall-clock/cache fields stripped) to PATH")
+
+    shard = sub.add_parser(
+        "shard", help="split an experiment across processes/machines (repro.shard)"
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+    plan = shard_sub.add_parser("plan", help="write N shard manifests for a run")
+    plan.add_argument("id", help="|".join(parallel_experiment_ids()))
+    plan.add_argument("--shards", type=int, required=True)
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument("--scale", default=None, choices=["quick", "paper"])
+    plan.add_argument("--out", default=None,
+                      help="plan directory (default: runs/shards/<id>-seed<seed>-<scale>)")
+    plan.add_argument("--store", default=None,
+                      help="result store directory (default: <out>/store; relative "
+                           "paths resolve against the manifest location)")
+    srun = shard_sub.add_parser("run", help="execute one shard manifest")
+    srun.add_argument("manifest", help="path to a shard-*.json manifest")
+    srun.add_argument("--workers", type=int, default=1,
+                      help="processes fanning out this shard's own cells (0 = all CPUs)")
+    srun.add_argument("--missing", default="compute", choices=["compute", "wait"],
+                      help="unowned cells absent from the store: compute them too "
+                           "(default, self-healing) or wait for peer shards to "
+                           "publish them (strict work partitioning)")
+    srun.add_argument("--wait-timeout", type=float, default=3600.0, metavar="SECONDS",
+                      help="give up waiting for peer cells after this long")
+    merge = shard_sub.add_parser(
+        "merge", help="merge a completed shard set into the final report"
+    )
+    merge.add_argument("manifests", nargs="+",
+                       help="manifest file(s) or the plan directory")
+    merge.add_argument("--json", default=None, metavar="PATH",
+                       help="also write the report's canonical JSON to PATH")
 
     scen = sub.add_parser(
         "scenario", help="replay a dynamic-cluster scenario (see repro.scenarios)"
@@ -177,10 +228,11 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_test(args: argparse.Namespace) -> int:
-    from .baselines import heft_placement
-    from .core import random_placement, run_search
+    from .baselines.giph_policy import GiPHSearchPolicy
     from .core.serialization import load_agent
-    from .sim import MakespanObjective, cp_min_lower_bound
+    from .experiments.runner import HeftPolicy, evaluate_policies
+    from .parallel import resolve_workers
+    from .sim import cp_min_lower_bound
 
     run_dir = pathlib.Path(args.run_folder)
     train_args = json.loads((run_dir / "args.json").read_text())
@@ -190,18 +242,23 @@ def cmd_test(args: argparse.Namespace) -> int:
     problems = _problems(
         train_args["num_tasks"], train_args["num_devices"], args.num_testing_cases, rng
     )
-    if args.noise > 0:
-        objective = MakespanObjective(noise=args.noise, rng=rng)
-    else:
-        objective = MakespanObjective()
+    # The case loop rides the shared evaluation harness: every case gets
+    # a derived seed stream (noise included — a per-(case, policy) noise
+    # stream instead of one shared mutable rng), and --workers fans the
+    # cases out with worker-count-independent results.
+    result = evaluate_policies(
+        {"giph": GiPHSearchPolicy(agent), "heft": HeftPolicy()},
+        problems,
+        rng,
+        noise=args.noise,
+        workers=resolve_workers(args.workers),
+    )
 
     rows = []
     for i, problem in enumerate(problems):
-        initial = random_placement(problem, rng)
-        trace = run_search(agent, problem, objective, initial)
         bound = cp_min_lower_bound(problem.cost_model)
-        heft_val = objective.evaluate(problem.cost_model, heft_placement(problem).placement)
-        rows.append((trace.values[0] / bound, trace.best_value / bound, heft_val / bound))
+        initial = result.traces["giph"][i].values[0] / bound
+        rows.append((initial, result.finals["giph"][i], result.finals["heft"][i]))
         print(f"case {i:3d}: initial SLR {rows[-1][0]:6.2f}  "
               f"giph {rows[-1][1]:6.2f}  heft {rows[-1][2]:6.2f}")
     arr = np.array(rows)
@@ -292,10 +349,36 @@ def _scenario_policies(names: list[str]):
     return {name: factories[name]() for name in dict.fromkeys(names)}
 
 
+def _shard_dir(experiment: str, seed: int, scale) -> pathlib.Path:
+    return pathlib.Path("runs") / "shards" / f"{experiment}-seed{seed}-{scale.name}"
+
+
+def _run_sharded_locally(args: argparse.Namespace, scale) -> int:
+    """``--backend shard``: plan, run every shard, merge — one process."""
+    from .shard import merge_shards, plan, run_shard
+
+    out = pathlib.Path(args.out) if args.out else _shard_dir(args.id, args.seed, scale)
+    manifests = plan(args.id, args.shards, args.seed, scale, out)
+    print(f"planned {len(manifests)} shard(s) under {out}")
+    for path in manifests:
+        run_shard(path, workers=args.workers)
+        print(f"  ran {path.name}")
+    report = merge_shards([out])
+    print(report.text)
+    if args.json:
+        pathlib.Path(args.json).write_text(report.to_json())
+        print(f"wrote canonical report JSON to {args.json}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import PAPER, QUICK, active_scale
-    from .experiments.registry import UnknownExperimentError, get_module, supports_workers
-    from .parallel import resolve_workers
+    from .experiments.registry import (
+        UnknownExperimentError,
+        get_module,
+        supports_workers,
+    )
+    from .parallel import ForkBackend, InlineBackend, resolve_workers
 
     try:
         module = get_module(args.id)
@@ -303,15 +386,108 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(f"error: {error.message}")
         return 2
     scale = {"quick": QUICK, "paper": PAPER}.get(args.scale) if args.scale else active_scale()
+    serial_by_design = not supports_workers(args.id)
+    if args.backend is not None and serial_by_design:
+        print(f"error: experiment {args.id!r} runs serially by design; "
+              "--backend does not apply")
+        return 2
+    if args.backend == "shard":
+        try:
+            return _run_sharded_locally(args, scale)
+        except (RuntimeError, ValueError) as error:
+            print(f"error: {error}")
+            return 2
     kwargs = {}
-    # Experiments with an embarrassingly parallel grid accept `workers`;
-    # table1 (constants) and table7 (wall-clock timing) are serial by design.
-    if supports_workers(args.id):
+    # Experiments with an embarrassingly parallel grid accept `workers`
+    # and `backend`; table1 (constants) and table7 (wall-clock timing)
+    # are serial by design.
+    if not serial_by_design:
         kwargs["workers"] = resolve_workers(args.workers)
+        if args.backend == "inline":
+            kwargs["backend"] = InlineBackend()
+        elif args.backend == "fork":
+            # An explicit fork request with --workers left at its serial
+            # default means "use the machine": ForkBackend(None) = all
+            # CPUs.  ForkBackend(1) would silently run inline.
+            kwargs["backend"] = ForkBackend(
+                None if args.workers == 1 else resolve_workers(args.workers)
+            )
     elif args.workers not in (None, 1):
         print(f"note: experiment {args.id!r} runs serially by design; --workers ignored")
     report = module.run(scale, seed=args.seed, **kwargs)
     print(report.text)
+    if args.json:
+        pathlib.Path(args.json).write_text(report.to_json())
+        print(f"wrote canonical report JSON to {args.json}")
+    return 0
+
+
+def cmd_shard(args: argparse.Namespace) -> int:
+    from .parallel.backends import ExecutionBackendError
+    from .shard import StaleManifestError
+
+    try:
+        if args.shard_command == "plan":
+            return _cmd_shard_plan(args)
+        if args.shard_command == "run":
+            return _cmd_shard_run(args)
+        return _cmd_shard_merge(args)
+    except (StaleManifestError, ExecutionBackendError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    from .experiments import PAPER, QUICK, active_scale
+    from .experiments.registry import UnknownExperimentError, get_module
+    from .shard import plan
+
+    try:
+        get_module(args.id)
+    except UnknownExperimentError as error:
+        print(f"error: {error.message}")
+        return 2
+    scale = {"quick": QUICK, "paper": PAPER}.get(args.scale) if args.scale else active_scale()
+    out = pathlib.Path(args.out) if args.out else _shard_dir(args.id, args.seed, scale)
+    manifests = plan(args.id, args.shards, args.seed, scale, out, store=args.store)
+    print(f"planned {args.id} (seed {args.seed}, scale {scale.name}) "
+          f"into {len(manifests)} shard(s):")
+    for path in manifests:
+        print(f"  {path}")
+    print(f"run each (any order, any machine sharing {manifests[0].parent}/store):")
+    print(f"  repro shard run {manifests[0]}")
+    print("then merge:")
+    print(f"  repro shard merge {manifests[0].parent}")
+    return 0
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    from .shard import load_manifest, run_shard
+
+    # Parsed before running so the completion message reflects the plan
+    # as it stood at launch (run_shard re-validates from disk itself).
+    manifest = load_manifest(args.manifest)
+    run_shard(
+        args.manifest,
+        workers=args.workers,
+        missing=args.missing,
+        wait_timeout_s=args.wait_timeout,
+    )
+    store = manifest.store_path(pathlib.Path(args.manifest))
+    print(f"shard {manifest.shard_index + 1}/{manifest.num_shards} of "
+          f"{manifest.experiment} (seed {manifest.seed}, scale {manifest.scale.name}) "
+          f"complete; results published to {store}")
+    return 0
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    from .shard import merge_shards
+
+    report = merge_shards(args.manifests)
+    print(report.text)
+    if args.json:
+        pathlib.Path(args.json).write_text(report.to_json())
+        print(f"wrote canonical report JSON to {args.json}")
     return 0
 
 
@@ -323,6 +499,7 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "experiment": cmd_experiment,
         "scenario": cmd_scenario,
+        "shard": cmd_shard,
     }
     return handlers[args.command](args)
 

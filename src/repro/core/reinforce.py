@@ -222,6 +222,7 @@ class ReinforceTrainer:
         *,
         batch_size: int = 1,
         workers: int = 1,
+        backend=None,
     ) -> list[EpisodeStats]:
         """Run ``episodes`` episodes, sampling a problem per episode.
 
@@ -233,14 +234,19 @@ class ReinforceTrainer:
         so existing callers are unchanged; with K>1 the per-episode
         randomness derives from ``(round seed, slot)`` streams, making
         the result bit-identical for any worker count.
+
+        ``backend`` overrides the executor (``workers`` then only sizes
+        the default); update rounds are inherently sequential, so only
+        the inline/fork backends apply — a shard backend's ``pool``
+        raises cleanly.
         """
-        from ..parallel.pool import resolve_workers
+        from ..parallel.backends import resolve_backend
 
         if not problems:
             raise ValueError("training needs at least one problem")
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        workers = resolve_workers(workers)  # 0/None -> all CPUs
+        backend = resolve_backend(backend, workers)
         total = episodes or self.config.episodes
         if batch_size == 1:
             # Serial semantics: parallel episode collection needs K > 1
@@ -253,7 +259,7 @@ class ReinforceTrainer:
                 if callback is not None:
                     callback(ep)
             return stats
-        return self._train_batched(list(problems), rng, total, callback, batch_size, workers)
+        return self._train_batched(list(problems), rng, total, callback, batch_size, backend)
 
     def _train_batched(
         self,
@@ -262,10 +268,16 @@ class ReinforceTrainer:
         total: int,
         callback: Callable[[EpisodeStats], None] | None,
         batch_size: int,
-        workers: int,
+        backend,
     ) -> list[EpisodeStats]:
-        from ..parallel.episodes import BatchContext, EpisodePayload, rollout_episode
-        from ..parallel.pool import WorkerPool
+        import tempfile
+
+        from ..parallel.episodes import (
+            BatchContext,
+            EpisodePayload,
+            rollout_episode,
+            write_snapshot,
+        )
 
         if not getattr(self.objective, "deterministic", False) and not hasattr(
             self.objective, "reseeded"
@@ -284,21 +296,23 @@ class ReinforceTrainer:
         params = list(self.agent.parameters())
         stats: list[EpisodeStats] = []
         context = BatchContext(problems, self.objective, cfg, self.agent)
-        with WorkerPool(workers, context=context) as pool:
+        with tempfile.TemporaryDirectory(prefix="repro-rounds-") as rounds_dir, \
+                backend.pool(context) as pool:
             remaining = total
+            round_index = 0
             while remaining > 0:
                 k = min(batch_size, remaining)
                 indices = [int(rng.integers(0, len(problems))) for _ in range(k)]
                 root = int(rng.integers(0, 2**63))
-                # Every slot ships the full snapshot (pickled per task by
-                # the pool) — fine for this substrate's KB-scale agents;
-                # a per-round broadcast would be needed before scaling to
-                # models where K copies of the weights dominate a round.
-                snapshot = self.agent.state_dict()
+                # The round's weights are broadcast by file reference:
+                # written once here, unpickled once per (worker, round) —
+                # not pickled into each of the K slot payloads.
+                snapshot = write_snapshot(self.agent.state_dict(), rounds_dir, round_index)
+                round_index += 1
                 rollouts = pool.map(
                     rollout_episode,
                     [
-                        EpisodePayload(problem_index=p, root=root, slot=s, state=snapshot)
+                        EpisodePayload(problem_index=p, root=root, slot=s, snapshot=snapshot)
                         for s, p in enumerate(indices)
                     ],
                 )

@@ -26,7 +26,7 @@ from ..core.env import PlacementEnv
 from ..core.gnn import TwoWayMessagePassing
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
 from ..core.search import SearchTrace
-from ..parallel.pool import fanout
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.pool import get_context as pool_context
 from ..sim.objectives import MakespanObjective
 from .base import ExperimentReport
@@ -146,18 +146,24 @@ def _train_configuration(config_index: int):
     return GiPHSearchPolicy(agent, name="giph-sum" if aggregation == "sum" else "giph")
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    backend = resolve_backend(backend, workers)
     dataset = multi_network_dataset(scale, np.random.default_rng([seed, 0]))
 
     context = _AblationContext(seed=seed, scale=scale, dataset=dataset)
     policies = dict(
         zip(
             [name for name, _, _ in CONFIGURATIONS],
-            fanout(_train_configuration, range(len(CONFIGURATIONS)), workers, context),
+            backend.fanout(_train_configuration, range(len(CONFIGURATIONS)), context),
         )
     )
     result = evaluate_policies(
-        policies, dataset.test, np.random.default_rng([seed, 2]), workers=workers
+        policies, dataset.test, np.random.default_rng([seed, 2]), backend=backend
     )
 
     rows = [[name, result.mean_final(name)] for name in policies]

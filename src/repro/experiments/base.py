@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["ExperimentReport"]
+__all__ = ["ExperimentReport", "VOLATILE_DATA_KEYS"]
+
+# Report-data keys whose values are run-dependent by nature — wall-clock
+# timings and cache-provenance counters.  Everything else in a report is
+# a pure function of (experiment, seed, scale, code version); stripping
+# these keys is what makes the canonical JSON of two equivalent runs
+# (serial vs fanned, fork vs shard-merged) byte-identical.
+VOLATILE_DATA_KEYS = frozenset({"search_seconds", "replace_seconds", "trace_cache"})
+
+
+def _strip_volatile(node: Any) -> Any:
+    if isinstance(node, dict):
+        return {
+            key: _strip_volatile(value)
+            for key, value in node.items()
+            if key not in VOLATILE_DATA_KEYS
+        }
+    if isinstance(node, (list, tuple)):
+        return [_strip_volatile(item) for item in node]
+    return node
 
 
 @dataclass(frozen=True)
@@ -21,6 +41,26 @@ class ExperimentReport:
     title: str
     text: str
     data: dict[str, Any] = field(default_factory=dict)
+
+    def stable_data(self) -> dict[str, Any]:
+        """``data`` minus the :data:`VOLATILE_DATA_KEYS` (recursively)."""
+        return _strip_volatile(self.data)
+
+    def to_json(self) -> str:
+        """Canonical JSON of the report's deterministic content.
+
+        Sorted keys, fixed separators, volatile data stripped: two runs
+        of the same (experiment, seed, scale, code) produce the same
+        bytes regardless of worker count or execution backend — the
+        equality `repro shard merge` is held to.
+        """
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "text": self.text,
+            "data": self.stable_data(),
+        }
+        return json.dumps(payload, indent=1, sort_keys=True) + "\n"
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return f"[{self.experiment_id}] {self.title}\n{self.text}"

@@ -28,16 +28,16 @@ from ..casestudy.measurements import TABLE2_RELOCATION
 from ..core.agent import GiPHAgent
 from ..core.placement import PlacementProblem, random_placement
 from ..core.search import run_search
-from ..parallel.pool import fanout
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.pool import get_context as pool_context
 from ..sim.metrics import energy_cost
 from ..sim.objectives import EnergyObjective, MakespanObjective, Objective
 from ..sim.relocation import RelocationCostModel
 from .base import ExperimentReport
 from .config import Scale
-from .fig9 import case_study_problems
+from .fig9 import case_study_problems, trace_cache_counter
 from .reporting import banner, format_table
-from .runner import train_giph
+from .runner import stage_key, train_giph
 
 __all__ = ["run", "RelocationAwareMakespan"]
 
@@ -136,21 +136,27 @@ def _relocation_cell(scenario_index: int) -> dict[float, float]:
     return out
 
 
-def _relocation_sweep(scale: Scale, seed: int, workers: int):
+def _relocation_sweep(scale: Scale, seed: int, backend: ExecutionBackend):
     """Left panel: incurred relocation cost vs pipeline frequency."""
-    train, test, scenarios = case_study_problems(scale, np.random.default_rng([seed, 0]))
-    agent = train_giph(train, np.random.default_rng([seed, 1]), scale.case_episodes)
+    train, test, scenarios, source = case_study_problems(scale, (seed, 0))
+    # Training is inline glue (its stream is not a fan-out cell), so the
+    # backend memoizes it: a merge pass loads what the shard runs built.
+    agent = backend.compute(
+        "stage",
+        stage_key("fig11", "relocation-train", seed, scale),
+        lambda: train_giph(train, np.random.default_rng([seed, 1]), scale.case_episodes),
+    )
 
     eval_scenarios = scenarios[: max(len(test), 1)]
     context = _RelocationContext(seed=seed, agent=agent, scenarios=eval_scenarios)
-    cells = fanout(_relocation_cell, range(len(eval_scenarios)), workers, context)
+    cells = backend.fanout(_relocation_cell, range(len(eval_scenarios)), context)
 
     incurred: dict[float, list[float]] = {f: [] for f in FREQUENCIES}
     for cell in cells:
         for freq in FREQUENCIES:
             incurred[freq].append(cell[freq])
     rows = [[freq, float(np.mean(incurred[freq]))] for freq in FREQUENCIES]
-    return rows, incurred
+    return rows, incurred, source
 
 
 @dataclass(frozen=True)
@@ -179,27 +185,37 @@ def _energy_cell(case_index: int) -> tuple[float, float, float]:
     )
 
 
-def _energy_comparison(scale: Scale, seed: int, workers: int):
+def _energy_comparison(scale: Scale, seed: int, backend: ExecutionBackend):
     """Right panel: total energy of GiPH vs HEFT vs random placements."""
-    train, test, _ = case_study_problems(scale, np.random.default_rng([seed, 3]))
-    agent = train_giph(
-        train, np.random.default_rng([seed, 4]), scale.case_episodes,
-        objective=EnergyObjective(),
+    train, test, _, source = case_study_problems(scale, (seed, 3))
+    agent = backend.compute(
+        "stage",
+        stage_key("fig11", "energy-train", seed, scale),
+        lambda: train_giph(
+            train, np.random.default_rng([seed, 4]), scale.case_episodes,
+            objective=EnergyObjective(),
+        ),
     )
 
     context = _EnergyContext(seed=seed, policy=GiPHSearchPolicy(agent), problems=list(test))
-    cells = fanout(_energy_cell, range(len(test)), workers, context)
+    cells = backend.fanout(_energy_cell, range(len(test)), context)
     totals = {"giph": [], "heft": [], "random": []}
     for giph, heft, rand in cells:
         totals["giph"].append(giph)
         totals["heft"].append(heft)
         totals["random"].append(rand)
-    return {k: float(np.mean(v)) for k, v in totals.items()}
+    return {k: float(np.mean(v)) for k, v in totals.items()}, source
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
-    reloc_rows, incurred = _relocation_sweep(scale, seed, workers)
-    energy = _energy_comparison(scale, seed, workers)
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    backend = resolve_backend(backend, workers)
+    reloc_rows, incurred, reloc_source = _relocation_sweep(scale, seed, backend)
+    energy, energy_source = _energy_comparison(scale, seed, backend)
 
     text = "\n".join(
         [
@@ -219,5 +235,6 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
         data={
             "relocation_cost_by_frequency": {str(r[0]): r[1] for r in reloc_rows},
             "energy": energy,
+            "trace_cache": trace_cache_counter([reloc_source, energy_source]),
         },
     )

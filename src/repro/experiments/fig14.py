@@ -28,7 +28,7 @@ from ..core.agent import GiPHAgent
 from ..core.features import FeatureConfig
 from ..core.placement import PlacementProblem
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
-from ..parallel.pool import WorkerPool, resolve_workers
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.pool import get_context as pool_context
 from ..sim.objectives import MakespanObjective
 from .base import ExperimentReport
@@ -118,7 +118,12 @@ def _cell_curve(cell: tuple[int, int]) -> list[float]:
     )
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
     rng = np.random.default_rng(seed)
     settings: list[tuple[str, Dataset]] = [
         ("single network", single_network_dataset(scale, rng)),
@@ -134,8 +139,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
         datasets=[dataset for _, dataset in settings],
         variants=variants,
     )
-    with WorkerPool(min(resolve_workers(workers), len(cells)), context=context) as pool:
-        flat_curves = pool.map(_cell_curve, cells)
+    flat_curves = resolve_backend(backend, workers).fanout(_cell_curve, cells, context)
 
     sections = []
     data: dict[str, dict[str, list[float]]] = {}

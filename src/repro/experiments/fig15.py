@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.features import FeatureConfig
-from ..parallel.pool import fanout
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.pool import get_context as pool_context
 from .base import ExperimentReport
 from .config import Scale
@@ -54,7 +54,12 @@ def _variant_curve(variant_index: int) -> list[float]:
     )
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
     rng = np.random.default_rng(seed)
     dataset = multi_network_dataset(scale, rng, vary_sizes=True)
 
@@ -65,7 +70,12 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
         feature_config=FeatureConfig(use_start_time_potential=False),
     )
     curves = dict(
-        zip(VARIANTS, fanout(_variant_curve, range(len(VARIANTS)), workers, context))
+        zip(
+            VARIANTS,
+            resolve_backend(backend, workers).fanout(
+                _variant_curve, range(len(VARIANTS)), context
+            ),
+        )
     )
     episodes_axis = list(
         range(

@@ -18,6 +18,7 @@ import numpy as np
 
 from ..baselines.random_policies import RandomPlacementPolicy
 from ..sim.objectives import TotalCostObjective
+from ..parallel.backends import ExecutionBackend
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import multi_network_dataset
@@ -27,7 +28,12 @@ from .runner import HeftPolicy, TrainSpec, evaluate_policies, train_policy_grid
 __all__ = ["run"]
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
     dataset = multi_network_dataset(scale, np.random.default_rng([seed, 0]))
     objective = TotalCostObjective()
 
@@ -35,6 +41,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
         [dataset.train],
         [TrainSpec("giph", "giph", (seed, 1, 0), scale.episodes, objective=objective)],
         workers=workers,
+        backend=backend,
     )
     policies = {
         "giph": trained["giph"],
@@ -48,6 +55,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
         normalize_slr=False,
         objective=objective,
         workers=workers,
+        backend=backend,
     )
 
     by_depth: dict[int, dict[str, list[float]]] = defaultdict(lambda: defaultdict(list))

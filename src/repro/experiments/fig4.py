@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
+from ..parallel.backends import ExecutionBackend
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import Dataset, multi_network_dataset, single_network_dataset
@@ -77,12 +78,18 @@ def _train_specs(
     return specs, problem_sets
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
     """Reproduce Fig. 4's four panels at the given scale.
 
-    ``workers`` fans the per-dataset training cells and the per-case
-    evaluation sweeps out across processes; reports are bit-identical
-    for any worker count (wall-clock ``search_seconds`` excepted).
+    The per-dataset training cells and per-case evaluation sweeps fan
+    out through ``backend`` (default: inline/fork sized by ``workers``);
+    reports are bit-identical for any worker count and any backend
+    (wall-clock ``search_seconds`` excepted).
     """
     sections: list[str] = []
     data: dict[str, dict] = {}
@@ -95,7 +102,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
     ):
         dataset = dataset_builder(scale, np.random.default_rng([seed, _DATA, dataset_index]))
         specs, problem_sets = _train_specs(seed, dataset_index, dataset, scale)
-        trained = train_policy_grid(problem_sets, specs, workers=workers)
+        trained = train_policy_grid(problem_sets, specs, workers=workers, backend=backend)
         policies = {
             "giph": trained["giph"],
             "giph-task-eft": trained["giph-task-eft"],
@@ -111,6 +118,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
                 np.random.default_rng(eval_stream(seed, dataset_index)),
                 noise=noise,
                 workers=workers,
+                backend=backend,
             )
             sections.append(banner(f"Fig. 4 panel: {panel}"))
             sections.append(

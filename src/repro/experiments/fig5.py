@@ -15,6 +15,7 @@ from collections import defaultdict
 import numpy as np
 
 from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
+from ..parallel.backends import ExecutionBackend
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import multi_network_dataset
@@ -24,7 +25,12 @@ from .runner import HeftPolicy, TrainSpec, evaluate_policies, train_policy_grid
 __all__ = ["run"]
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
     dataset = multi_network_dataset(scale, np.random.default_rng([seed, 0]))
 
     trained = train_policy_grid(
@@ -34,6 +40,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
             TrainSpec("giph-task-eft", "task-eft", (seed, 1, 1), scale.episodes),
         ],
         workers=workers,
+        backend=backend,
     )
     policies = {
         "giph": trained["giph"],
@@ -43,7 +50,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
         "heft": HeftPolicy(),
     }
     result = evaluate_policies(
-        policies, dataset.test, np.random.default_rng([seed, 2]), workers=workers
+        policies, dataset.test, np.random.default_rng([seed, 2]), workers=workers, backend=backend
     )
 
     # Group final SLR by graph depth.

@@ -23,11 +23,12 @@ from ..baselines.random_policies import RandomPlacementPolicy
 from ..baselines.rnn_placer import RnnPlacerPolicy
 from ..core.placement import PlacementProblem
 from ..devices.dynamics import ChurnConfig
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..scenarios import ClusterSpec, ScenarioRunner, ScenarioSpec, WorkloadSpec, materialize
 from .base import ExperimentReport
 from .config import Scale
 from .reporting import banner, format_series
-from .runner import HeftPolicy, train_giph, train_placeto, train_task_eft
+from .runner import HeftPolicy, stage_key, train_giph, train_placeto, train_task_eft
 
 __all__ = ["run", "adaptivity_spec"]
 
@@ -52,17 +53,36 @@ def adaptivity_spec(scale: Scale, seed: int = 0) -> ScenarioSpec:
     )
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
-    rng = np.random.default_rng(seed)
+def _train_all(train_problems, rng: np.random.Generator, scale: Scale):
+    """The three learned policies, trained from one shared stream.
+
+    One unit on purpose: the trainings consume a single threaded rng, so
+    they memoize (and replay at shard merge) only as a bundle.
+    """
+    giph_policy = GiPHSearchPolicy(train_giph(train_problems, rng, scale.episodes))
+    task_eft = train_task_eft(train_problems, rng, scale.episodes)
+    placeto = train_placeto(train_problems, rng, scale.episodes)
+    return giph_policy, task_eft, placeto
+
+
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    backend = resolve_backend(backend, workers)
     materialized = materialize(adaptivity_spec(scale, seed))
 
     # Learned policies trained once, on the initial network only.
     train_problems = [
         PlacementProblem(g, materialized.initial_network) for g in materialized.initial_graphs
     ]
-    giph_policy = GiPHSearchPolicy(train_giph(train_problems, rng, scale.episodes))
-    task_eft = train_task_eft(train_problems, rng, scale.episodes)
-    placeto = train_placeto(train_problems, rng, scale.episodes)
+    giph_policy, task_eft, placeto = backend.compute(
+        "stage",
+        stage_key("fig6", "train", seed, scale),
+        lambda: _train_all(train_problems, np.random.default_rng(seed), scale),
+    )
 
     # The six policy replays are independent (per-policy seed streams,
     # one EvaluatorPool each), so they fan out across workers.
@@ -77,7 +97,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
             "rnn-placer": RnnPlacerPolicy(samples_per_update=4, max_updates=8, patience=3),
             "heft": HeftPolicy(),
         },
-        workers=workers,
+        backend=backend,
     )
 
     slr_by_change = {name: result.slr_series(name) for name in POLICIES}

@@ -22,6 +22,7 @@ from ..core.placement import PlacementProblem
 from ..devices.generator import DeviceNetworkParams, generate_device_network
 from ..graphs.enas import generate_enas_dataset
 from ..graphs.grouping import group_operators
+from ..parallel.backends import ExecutionBackend
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import Dataset
@@ -51,7 +52,12 @@ def build_dl_dataset(scale: Scale, rng: np.random.Generator) -> Dataset:
     return Dataset(problems[:half], problems[half : half + scale.dl_test_cases], "dl-graphs")
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
     dataset = build_dl_dataset(scale, np.random.default_rng([seed, 0]))
 
     trained = train_policy_grid(
@@ -62,6 +68,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
             TrainSpec("placeto", "placeto", (seed, 1, 2), scale.dl_episodes),
         ],
         workers=workers,
+        backend=backend,
     )
     policies = {
         "giph": trained["giph"],
@@ -71,7 +78,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
         "random": RandomPlacementPolicy(),
     }
     result = evaluate_policies(
-        policies, dataset.test, np.random.default_rng([seed, 2]), workers=workers
+        policies, dataset.test, np.random.default_rng([seed, 2]), workers=workers, backend=backend
     )
 
     # (b) relocation-count histogram over GiPH's evaluation searches

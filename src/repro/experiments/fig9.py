@@ -7,26 +7,49 @@ mean.
 
 Seed-stream layout: stage 0 — trace extraction, stage 1 — one stream
 per training cell (fanned over ``workers``), stage 2 — evaluation
-(fanned per case).
+(fanned per case).  The trace is memoized through
+:func:`repro.casestudy.trace.extract_trace_cached` keyed by (scale,
+stream) — fig11 shares stage 0's stream, so one extraction serves both
+experiments within a process (and across ``repro shard`` invocations
+through the run store).
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from ..baselines.random_policies import RandomPlacementPolicy, RandomTaskEftPolicy
-from ..casestudy.trace import TraceConfig, extract_trace
+from ..casestudy.trace import TraceConfig, extract_trace_cached
 from ..casestudy.traffic import TrafficConfig
+from ..parallel.backends import ExecutionBackend
 from .base import ExperimentReport
 from .config import Scale
 from .reporting import banner, format_series, format_table
 from .runner import HeftPolicy, TrainSpec, evaluate_policies, train_policy_grid
 
-__all__ = ["run", "case_study_problems"]
+__all__ = ["run", "case_study_problems", "trace_cache_counter"]
 
 
-def case_study_problems(scale: Scale, rng: np.random.Generator):
-    """Extract (train, test) placement problems from the traffic trace."""
+def trace_cache_counter(sources: Sequence[str]) -> dict:
+    """Report-data cache counter over this run's trace lookups.
+
+    A ``hit`` is any lookup the memo or the run store satisfied without
+    re-running the traffic simulation.  Run-dependent by nature (a
+    second same-process run is all hits), so it lives with the other
+    volatile report keys — see ``ExperimentReport.stable_data``.
+    """
+    hits = sum(1 for s in sources if s != "extracted")
+    return {"hits": hits, "misses": len(sources) - hits, "sources": list(sources)}
+
+
+def case_study_problems(scale: Scale, stream: Sequence[int]):
+    """(train, test, scenarios, cache source) from the traffic trace.
+
+    ``stream`` is the extraction's full seed-derivation key (fed to
+    ``default_rng(list(stream))``), which doubles as its memo identity.
+    """
     config = TraceConfig(
         traffic=TrafficConfig(
             num_vehicles=scale.case_vehicles,
@@ -35,7 +58,7 @@ def case_study_problems(scale: Scale, rng: np.random.Generator):
         ),
         max_cases=scale.case_train + scale.case_test,
     )
-    scenarios = extract_trace(config, rng)
+    scenarios, source = extract_trace_cached(config, stream)
     if len(scenarios) < 2:
         raise RuntimeError(
             f"trace produced only {len(scenarios)} placement cases; "
@@ -44,11 +67,16 @@ def case_study_problems(scale: Scale, rng: np.random.Generator):
     split = min(scale.case_train, len(scenarios) // 2)
     train = [s.problem for s in scenarios[:split]]
     test = [s.problem for s in scenarios[split : split + scale.case_test]]
-    return train, test, scenarios
+    return train, test, scenarios, source
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
-    train, test, _ = case_study_problems(scale, np.random.default_rng([seed, 0]))
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
+    train, test, _, trace_source = case_study_problems(scale, (seed, 0))
 
     trained = train_policy_grid(
         [train],
@@ -57,6 +85,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
             TrainSpec("giph-task-eft", "task-eft", (seed, 1, 1), scale.case_episodes),
         ],
         workers=workers,
+        backend=backend,
     )
     policies = {
         "giph": trained["giph"],
@@ -66,7 +95,7 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
         "heft": HeftPolicy(),
     }
     result = evaluate_policies(
-        policies, test, np.random.default_rng([seed, 2]), workers=workers
+        policies, test, np.random.default_rng([seed, 2]), workers=workers, backend=backend
     )
 
     dist_rows = []
@@ -106,5 +135,6 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
             "finals": {k: list(v) for k, v in result.finals.items()},
             "num_train": len(train),
             "num_test": len(test),
+            "trace_cache": trace_cache_counter([trace_source]),
         },
     )

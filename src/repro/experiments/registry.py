@@ -26,6 +26,7 @@ __all__ = [
     "UnknownExperimentError",
     "get_module",
     "supports_workers",
+    "supports_backend",
     "parallel_experiment_ids",
     "serial_experiment_ids",
 ]
@@ -87,6 +88,18 @@ def supports_workers(experiment_id: str) -> bool:
     disagreed — and the drift-guard test would fail loudly first.
     """
     return "workers" in inspect.signature(get_module(experiment_id).run).parameters
+
+
+def supports_backend(experiment_id: str) -> bool:
+    """Whether the experiment's ``run`` accepts an execution ``backend``.
+
+    Every experiment with a fan-out grid does (the same set that accepts
+    ``workers``); table1/table7 are serial by design and accept neither.
+    The shard orchestrator dispatches on this, so an experiment that
+    cannot shard fails with a clean registry-level error instead of a
+    ``TypeError`` out of its ``run``.
+    """
+    return "backend" in inspect.signature(get_module(experiment_id).run).parameters
 
 
 def parallel_experiment_ids() -> tuple[str, ...]:

@@ -23,7 +23,7 @@ from ..core.agent import GiPHAgent
 from ..core.placement import PlacementProblem, random_placement
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
 from ..core.search import SearchTrace
-from ..parallel.pool import WorkerPool, fanout, resolve_workers
+from ..parallel.backends import ExecutionBackend, resolve_backend
 from ..parallel.pool import get_context as pool_context
 from ..runtime.evaluator import EvaluatorStats, PlacementEvaluator
 from ..sim.metrics import cp_min_lower_bound
@@ -33,6 +33,7 @@ __all__ = [
     "HeftPolicy",
     "EvalResult",
     "TrainSpec",
+    "stage_key",
     "train_giph",
     "train_placeto",
     "train_task_eft",
@@ -40,6 +41,23 @@ __all__ = [
     "evaluate_policies",
     "average_curves",
 ]
+
+
+def stage_key(experiment: str, stage: str, seed: int, scale) -> dict:
+    """Store key for an experiment's non-fanned stage (see
+    :meth:`repro.parallel.ExecutionBackend.compute`).
+
+    Includes the *full* scale parameters, not just the preset name —
+    two ad-hoc scales sharing a name must never share memoized stages.
+    """
+    import dataclasses
+
+    return {
+        "experiment": experiment,
+        "stage": stage,
+        "seed": seed,
+        "scale": dataclasses.asdict(scale),
+    }
 
 
 class HeftPolicy(AdaptivePolicy):
@@ -167,13 +185,15 @@ def train_policy_grid(
     problem_sets: Sequence[Sequence[PlacementProblem]],
     specs: Sequence[TrainSpec],
     workers: int = 1,
+    backend: ExecutionBackend | None = None,
 ) -> dict[str, SearchPolicy]:
-    """Train every :class:`TrainSpec` cell, fanned out over ``workers``.
+    """Train every :class:`TrainSpec` cell, fanned out over ``backend``
+    (default: inline/fork sized by ``workers``).
 
     Returns ``{spec.name: trained policy}`` in spec order.  Each cell
     draws exclusively from its own ``spec.stream``, so the mapping is
-    bit-identical for any worker count (the tentpole contract of
-    :mod:`repro.parallel`).
+    bit-identical for any worker count and any backend (the tentpole
+    contract of :mod:`repro.parallel`).
     """
     names = [spec.name for spec in specs]
     if len(set(names)) != len(names):
@@ -181,7 +201,8 @@ def train_policy_grid(
     context = _TrainGridContext(
         problem_sets=tuple(list(p) for p in problem_sets), specs=tuple(specs)
     )
-    policies = fanout(_train_grid_cell, range(len(specs)), workers, context)
+    backend = resolve_backend(backend, workers)
+    policies = backend.fanout(_train_grid_cell, range(len(specs)), context)
     return dict(zip(names, policies))
 
 
@@ -286,6 +307,7 @@ def evaluate_policies(
     normalize_slr: bool = True,
     objective: Objective | None = None,
     workers: int = 1,
+    backend: ExecutionBackend | None = None,
 ) -> EvalResult:
     """Run every policy on every test case from a shared initial placement.
 
@@ -293,12 +315,13 @@ def evaluate_policies(
     the CP_MIN lower bound; otherwise raw objective values are reported
     (cost/energy experiments pass their own ``objective``).
 
-    ``workers`` fans the test cases out across processes.  Case seeds
-    are drawn from ``rng`` up front in case order (the same draws the
-    serial loop makes), every per-case search reseeds from those, and
-    results are merged in case order — so curves, finals, and traces are
-    bit-identical for any worker count.  Only ``search_seconds`` is
-    wall-clock and therefore run-dependent.
+    The test cases fan out through ``backend`` (default: inline/fork
+    sized by ``workers``).  Case seeds are drawn from ``rng`` up front
+    in case order (the same draws the serial loop makes), every per-case
+    search reseeds from those, and results are merged in case order — so
+    curves, finals, and traces are bit-identical for any worker count
+    and any backend.  Only ``search_seconds`` is wall-clock and
+    therefore run-dependent.
     """
     if objective is not None and not getattr(objective, "deterministic", False):
         # Rejected at any worker count: cases run against pickled copies
@@ -325,10 +348,9 @@ def evaluate_policies(
         normalize_slr=normalize_slr,
         objective=objective,
     )
-    with WorkerPool(
-        min(resolve_workers(workers), max(len(problems), 1)), context=context
-    ) as pool:
-        case_results = pool.map(_evaluate_case, range(len(problems)))
+    case_results = resolve_backend(backend, workers).fanout(
+        _evaluate_case, range(len(problems)), context
+    )
 
     for case_out in case_results:
         for name, (curve, final, trace, case_stats, elapsed) in case_out.items():

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..parallel.backends import ExecutionBackend
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import multi_network_dataset
@@ -48,7 +49,12 @@ def pairwise_matrix(finals: dict[str, list[float]]) -> dict[tuple[str, str], tup
     return out
 
 
-def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
+def run(
+    scale: Scale,
+    seed: int = 0,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+) -> ExperimentReport:
     dataset = multi_network_dataset(scale, np.random.default_rng([seed, 0]))
     test = dataset.test[: scale.pairwise_cases]
 
@@ -62,10 +68,12 @@ def run(scale: Scale, seed: int = 0, workers: int = 1) -> ExperimentReport:
             "giph-task-eft", "task-eft", (seed, 1, len(embeddings)), scale.episodes
         )
     )
-    policies = dict(train_policy_grid([dataset.train], specs, workers=workers))
+    policies = dict(
+        train_policy_grid([dataset.train], specs, workers=workers, backend=backend)
+    )
     policies["heft"] = HeftPolicy()
     result = evaluate_policies(
-        policies, test, np.random.default_rng([seed, 2]), workers=workers
+        policies, test, np.random.default_rng([seed, 2]), workers=workers, backend=backend
     )
     matrix = pairwise_matrix(result.finals)
 

@@ -1,13 +1,26 @@
 """Seed-deterministic parallel execution (see :mod:`repro.parallel.pool`).
 
-The subsystem behind every ``--workers N`` flag: a fork-based
-:class:`WorkerPool` whose results are bit-identical for any worker
-count, plus the batched-episode machinery REINFORCE training fans out
-with.  GiPH's pitch is cheap repeated re-placement as clusters change;
-this package is what lets training sweeps, experiment grids, and
-scenario replays use every core while staying exactly reproducible.
+The subsystem behind every ``--workers N`` / ``--backend`` flag: a
+fork-based :class:`WorkerPool` whose results are bit-identical for any
+worker count, the pluggable :class:`ExecutionBackend` family built on
+its contract (inline / fork / store-mediated shard + merge), and the
+batched-episode machinery REINFORCE training fans out with.  GiPH's
+pitch is cheap repeated re-placement as clusters change; this package
+is what lets training sweeps, experiment grids, and scenario replays
+use every core — or several machines — while staying exactly
+reproducible.
 """
 
+from .backends import (
+    ExecutionBackend,
+    ExecutionBackendError,
+    ForkBackend,
+    InlineBackend,
+    MergeBackend,
+    MissingCellError,
+    ShardBackend,
+    resolve_backend,
+)
 from .episodes import BatchContext, EpisodePayload, EpisodeRollout, rollout_episode
 from .pool import (
     WorkerPool,
@@ -25,6 +38,14 @@ __all__ = [
     "get_context",
     "resolve_workers",
     "task_rng",
+    "ExecutionBackend",
+    "ExecutionBackendError",
+    "ForkBackend",
+    "InlineBackend",
+    "MergeBackend",
+    "MissingCellError",
+    "ShardBackend",
+    "resolve_backend",
     "BatchContext",
     "EpisodePayload",
     "EpisodeRollout",

@@ -30,18 +30,61 @@ free to diverge between workers.
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass
 
 import numpy as np
 
 from .pool import get_context, task_rng
 
-__all__ = ["BatchContext", "EpisodePayload", "EpisodeRollout", "rollout_episode"]
+__all__ = [
+    "BatchContext",
+    "EpisodePayload",
+    "EpisodeRollout",
+    "RoundSnapshot",
+    "rollout_episode",
+    "write_snapshot",
+]
 
 # Appended to (root, slot) for the episode's noise stream, keeping it
 # independent of the rollout stream that drives action sampling and the
 # initial placement.
 _NOISE_SUBSTREAM = 1
+
+
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """One round's weight snapshot, broadcast by file reference.
+
+    The trainer writes the round's weights to disk once and every slot
+    payload carries only this tiny reference — previously each of the K
+    payloads pickled the *full* state dict, shipping K copies of the
+    weights per round through the pool (a per-task pickle of what is
+    semantically per-round broadcast state).  Workers unpickle the file
+    once per round (cached by ``version`` on the broadcast context), so
+    per-round weight transfer is O(workers), not O(batch size).
+    """
+
+    path: str
+    version: int  # round counter; invalidates the worker-side cache
+
+
+def write_snapshot(
+    state: dict[str, np.ndarray], directory: str, version: int
+) -> RoundSnapshot:
+    """Atomically persist a round snapshot; safe against readers mid-write.
+
+    A single well-known filename is reused across rounds: all of round
+    N's tasks complete before the trainer writes round N+1, so the
+    replace can never race a reader of the current round.
+    """
+    path = os.path.join(directory, "snapshot.pkl")
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return RoundSnapshot(path=path, version=version)
 
 
 @dataclass(frozen=True)
@@ -51,7 +94,7 @@ class EpisodePayload:
     problem_index: int
     root: int  # round-level seed drawn from the trainer's main rng
     slot: int  # position within the round; rng = task_rng(root, slot)
-    state: dict[str, np.ndarray]  # weight snapshot the episode runs against
+    snapshot: RoundSnapshot  # weight snapshot the episode runs against
 
 
 @dataclass(frozen=True)
@@ -84,6 +127,7 @@ class BatchContext:
         self.agent = agent
         self._evaluators = None
         self._builders: dict[int, object] | None = None
+        self._snapshot: tuple[int, dict] | None = None
 
     def __getstate__(self):
         return {
@@ -97,6 +141,14 @@ class BatchContext:
         self.__dict__.update(state)
         self._evaluators = None
         self._builders = None
+        self._snapshot = None
+
+    def load_snapshot(self, snapshot: RoundSnapshot) -> dict:
+        """The round's weights, unpickled once per (worker, round)."""
+        if self._snapshot is None or self._snapshot[0] != snapshot.version:
+            with open(snapshot.path, "rb") as handle:
+                self._snapshot = (snapshot.version, pickle.load(handle))
+        return self._snapshot[1]
 
     def evaluator_for(self, problem):
         from ..runtime.evaluator import EvaluatorPool
@@ -133,7 +185,7 @@ def rollout_episode(payload: EpisodePayload) -> EpisodeRollout:
     ctx: BatchContext = get_context()
     cfg = ctx.config
     agent = ctx.agent
-    agent.load_state_dict(payload.state)
+    agent.load_state_dict(ctx.load_snapshot(payload.snapshot))
     rng = task_rng(payload.root, payload.slot)
     agent.rng = rng
 

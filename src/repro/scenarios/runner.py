@@ -37,7 +37,12 @@ from ..baselines.heft import heft_placement
 from ..baselines.random_policies import RandomTaskEftPolicy
 from ..core.placement import PlacementProblem, random_placement
 from ..devices.network import DeviceNetwork
-from ..parallel.pool import WorkerPool, resolve_workers
+from ..parallel.backends import (
+    ExecutionBackend,
+    ForkBackend,
+    InlineBackend,
+    resolve_backend,
+)
 from ..parallel.pool import get_context as pool_context
 from ..runtime.evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluator
 from ..sim.metrics import cp_min_lower_bound
@@ -257,14 +262,20 @@ class ScenarioRunner:
             slrs.append(min(heft_value, trace.best_value) / denom)
         return float(np.mean(slrs))
 
-    def _oracle_slr(self, workers: int = 1) -> list[float]:
+    def _oracle_slr(
+        self, workers: int = 1, backend: ExecutionBackend | None = None
+    ) -> list[float]:
         """Per-event fresh-search oracle SLR series.
 
         The oracle ignores placement carry-over: per (event, graph) it
         takes the better of HEFT and a random-task-EFT search started
-        from a fresh random placement with the same step budget.
-        ``workers`` fans the events out across processes; per-(event,
-        graph) streams make the series bit-identical at any worker count.
+        from a fresh random placement with the same step budget.  The
+        events fan out through ``backend`` (default: inline/fork sized
+        by ``workers``); per-(event, graph) streams make the series
+        bit-identical at any worker count and under any backend.  The
+        inline path runs the events directly (no context pickling), one
+        evaluator pool shared across events — caches never change
+        values, so both paths agree bit-for-bit.
         """
         # Snapshot each yield: _replay_state mutates and re-yields the
         # same problems list across consecutive arrivals, so collecting
@@ -276,11 +287,10 @@ class ScenarioRunner:
             for event, problems, _ in self._replay_state()
             if event is not None
         ]
-        workers = min(resolve_workers(workers), max(len(states), 1))
-        if workers > 1:
+        backend = resolve_backend(backend, workers)
+        if not isinstance(backend, InlineBackend):
             context = _OracleContext(self, states)
-            with WorkerPool(workers, context=context) as pool:
-                return pool.map(_oracle_event, range(len(states)))
+            return backend.fanout(_oracle_event, range(len(states)), context)
         objective = self.spec.make_objective()
         pool = EvaluatorPool(objective) if self.reuse_evaluators else None
         return [
@@ -291,37 +301,50 @@ class ScenarioRunner:
     # -- replay ------------------------------------------------------------------
 
     def run(
-        self, policies: Mapping[str, SearchPolicy], workers: int = 1
+        self,
+        policies: Mapping[str, SearchPolicy],
+        workers: int = 1,
+        backend: ExecutionBackend | None = None,
     ) -> ScenarioResult:
         """Replay the scenario for every policy; see the class docstring.
 
-        ``workers`` fans the fresh-search oracle's events out across
-        processes (each (event, graph) pair owns a derived stream), then
-        fans the policies out the same way.  Each
-        policy's replay already derives all randomness from
+        The fresh-search oracle's events fan out through ``backend``
+        (default: inline/fork sized by ``workers``; each (event, graph)
+        pair owns a derived stream), then the policies fan out the same
+        way.  Each policy's replay already derives all randomness from
         ``(spec.seed, policy name, event index)`` and keeps a private
         :class:`EvaluatorPool`, so per-policy reports are bit-identical
-        to a serial run for any worker count (only the wall-clock
-        ``replace_seconds`` fields vary).  Workers replay pickled
-        policy copies: stateful policies (e.g. a retrained RNN placer)
-        keep their mutations worker-side, as if each had its own replica.
+        to a serial run for any worker count and any backend (only the
+        wall-clock ``replace_seconds`` fields vary).  Non-inline
+        backends replay pickled policy copies: stateful policies (e.g. a
+        retrained RNN placer) keep their mutations worker-side, as if
+        each had its own replica.  The inline path replays the caller's
+        policy objects directly — ``adapt(event)`` side effects stay
+        visible, and non-picklable ad-hoc policies are accepted.
         """
         if not policies:
             raise ValueError("need at least one policy")
-        workers = resolve_workers(workers)
+        backend = resolve_backend(backend, workers)
         if self.oracle:
             if self._oracle_cache is None:
                 # Deterministic in the runner's configuration, so repeated
                 # run() calls (policy sweeps, benchmarks) pay for it once.
-                self._oracle_cache = self._oracle_slr(workers=workers)
+                self._oracle_cache = self._oracle_slr(backend=backend)
             oracle_slr = self._oracle_cache
         else:
             oracle_slr = [0.0] * self.materialized.num_events
-        if workers > 1 and len(policies) > 1:
+        # Direct (no-pickling) replay when fanning out cannot help:
+        # inline always, and a fork pool with a single policy (the
+        # historical `workers > 1 and len(policies) > 1` gate) — ad-hoc
+        # non-picklable policies keep working there.  Store-mediated
+        # backends always fan out: the merge pass needs the cell.
+        direct = isinstance(backend, InlineBackend) or (
+            isinstance(backend, ForkBackend) and len(policies) == 1
+        )
+        if not direct:
             names = list(policies)
             context = _ReplayContext(self, dict(policies), list(oracle_slr))
-            with WorkerPool(min(workers, len(names)), context=context) as pool:
-                reports = dict(zip(names, pool.map(_replay_policy, names)))
+            reports = dict(zip(names, backend.fanout(_replay_policy, names, context)))
         else:
             reports = {
                 name: self._run_policy(name, policy, oracle_slr)
@@ -510,6 +533,7 @@ def replay_scenarios(
     episode_multiplier: int = 2,
     reuse_evaluators: bool = True,
     oracle: bool = True,
+    backend: ExecutionBackend | None = None,
 ) -> dict[str, ScenarioResult]:
     """Replay several scenarios against several policies, in parallel.
 
@@ -517,13 +541,14 @@ def replay_scenarios(
     derives all randomness from ``(spec.seed, policy name, event index)``
     and owns a private :class:`EvaluatorPool` per worker.  Oracles are
     computed first (one task per scenario), then every grid cell fans
-    out.  Results are keyed by scenario name and bit-identical to
-    running each scenario's :meth:`ScenarioRunner.run` serially (modulo
-    wall-clock fields).
+    out through ``backend`` (default: inline/fork sized by ``workers``).
+    Results are keyed by scenario name and bit-identical to running each
+    scenario's :meth:`ScenarioRunner.run` serially (modulo wall-clock
+    fields).
     """
     if not policies:
         raise ValueError("need at least one policy")
-    workers = resolve_workers(workers)
+    backend = resolve_backend(backend, workers)
     runners = [
         ScenarioRunner(
             spec,
@@ -536,19 +561,20 @@ def replay_scenarios(
     names = {runner.spec.name for runner in runners}
     if len(names) != len(runners):
         raise ValueError("scenario names must be unique in a grid replay")
-    if workers <= 1 or len(runners) * len(policies) <= 1:
-        return {runner.spec.name: runner.run(policies) for runner in runners}
+    if isinstance(backend, InlineBackend) or len(runners) * len(policies) <= 1:
+        # The backend still travels: a store-mediated backend must
+        # publish/load its cells even when the grid is too small to fan.
+        return {runner.spec.name: runner.run(policies, backend=backend) for runner in runners}
 
     context = _GridContext(runners=runners, policies=dict(policies))
-    with WorkerPool(workers, context=context) as pool:
-        if oracle:
-            oracles = pool.map(_grid_oracle, range(len(runners)))
-        else:
-            oracles = [[0.0] * r.materialized.num_events for r in runners]
-        cells = [
-            (i, name, oracles[i]) for i in range(len(runners)) for name in policies
-        ]
-        reports = pool.map(_grid_replay, cells)
+    if oracle:
+        oracles = backend.fanout(_grid_oracle, range(len(runners)), context)
+    else:
+        oracles = [[0.0] * r.materialized.num_events for r in runners]
+    cells = [
+        (i, name, oracles[i]) for i in range(len(runners)) for name in policies
+    ]
+    reports = backend.fanout(_grid_replay, cells, context)
 
     results: dict[str, ScenarioResult] = {}
     for (i, name, _), report in zip(cells, reports):

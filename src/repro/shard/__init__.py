@@ -1,0 +1,31 @@
+"""Sharded run orchestration (``repro shard plan|run|merge``).
+
+Splits any backend-capable experiment into N deterministic shard
+manifests, executes each as an independent process (locally or on
+another machine — the transport is the content-addressed run store, i.e.
+plain files), and merges the published results into a report
+byte-identical to the single-host run at any shard count.
+"""
+
+from .manifest import (
+    ShardManifest,
+    StaleManifestError,
+    load_manifest,
+    run_fingerprint,
+    scale_from_dict,
+    validate_manifest,
+)
+from .orchestrator import collect_manifests, merge_shards, plan, run_shard
+
+__all__ = [
+    "ShardManifest",
+    "StaleManifestError",
+    "collect_manifests",
+    "load_manifest",
+    "merge_shards",
+    "plan",
+    "run_fingerprint",
+    "run_shard",
+    "scale_from_dict",
+    "validate_manifest",
+]

@@ -1,0 +1,166 @@
+"""Shard manifests: the declarative unit of cross-machine distribution.
+
+A manifest is a small JSON file that fully determines one shard of an
+experiment run: experiment id, seed, the *complete* scale parameters,
+the shard's cell assignment (``index % num_shards == shard_index`` over
+every fan-out of the run), the store directory shards exchange results
+through, and the code/config fingerprints the plan was made under.
+
+Fingerprints make staleness loud: ``repro shard run`` and ``repro shard
+merge`` recompute them and refuse a manifest whose code or config no
+longer matches — the store is additionally code-salted (see
+:mod:`repro.store`), so even a bypassed check could only miss, never
+serve stale bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from dataclasses import dataclass
+
+from ..experiments.config import Scale
+from ..store import code_fingerprint, fingerprint
+
+__all__ = [
+    "ShardManifest",
+    "StaleManifestError",
+    "config_key",
+    "load_manifest",
+    "run_fingerprint",
+    "scale_from_dict",
+    "validate_manifest",
+]
+
+SCHEMA = 1
+KIND = "repro-shard-manifest"
+
+
+class StaleManifestError(RuntimeError):
+    """A manifest's fingerprints no longer match the current code/config."""
+
+
+def scale_from_dict(payload: dict) -> Scale:
+    """Rebuild a :class:`Scale` from its JSON dict (tuples restored)."""
+    fields = dict(payload)
+    fields["timing_graph_sizes"] = tuple(fields["timing_graph_sizes"])
+    return Scale(**fields)
+
+
+def config_key(experiment: str, seed: int, scale: Scale) -> dict:
+    """The run's configuration identity (everything but the code)."""
+    return {
+        "experiment": experiment,
+        "seed": seed,
+        "scale": dataclasses.asdict(scale),
+    }
+
+
+def run_fingerprint(experiment: str, seed: int, scale: Scale) -> str:
+    """Identity of one run: configuration + installed code version."""
+    return fingerprint({**config_key(experiment, seed, scale), "code": code_fingerprint()})
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """One shard's slice of a planned run (see the module docstring)."""
+
+    experiment: str
+    seed: int
+    scale: Scale
+    num_shards: int
+    shard_index: int
+    store: str  # store directory; relative paths resolve against the manifest
+    run: str  # run fingerprint (config + code)
+    code: str  # code fingerprint alone, for precise staleness messages
+    config: str  # config fingerprint alone
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "kind": KIND,
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "scale": dataclasses.asdict(self.scale),
+            "num_shards": self.num_shards,
+            "shard_index": self.shard_index,
+            "cells": {
+                "strategy": "modulo",
+                "modulus": self.num_shards,
+                "residue": self.shard_index,
+            },
+            "store": self.store,
+            "fingerprint": {"run": self.run, "code": self.code, "config": self.config},
+        }
+
+    def store_path(self, manifest_path: pathlib.Path) -> pathlib.Path:
+        """The store directory, resolving relative paths portably.
+
+        Relative store paths anchor on the manifest's own directory, so
+        copying a plan directory (manifests + store) to another machine
+        needs no path surgery.
+        """
+        store = pathlib.Path(self.store)
+        return store if store.is_absolute() else manifest_path.parent / store
+
+
+def load_manifest(path: str | pathlib.Path) -> ShardManifest:
+    """Parse and structurally validate a manifest file."""
+    path = pathlib.Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise StaleManifestError(f"cannot read shard manifest {path}: {error}") from None
+    if not isinstance(payload, dict) or payload.get("kind") != KIND:
+        raise StaleManifestError(f"{path} is not a shard manifest (kind != {KIND!r})")
+    if payload.get("schema") != SCHEMA:
+        raise StaleManifestError(
+            f"{path} has manifest schema {payload.get('schema')!r}; "
+            f"this code reads schema {SCHEMA}"
+        )
+    try:
+        prints = payload["fingerprint"]
+        return ShardManifest(
+            experiment=payload["experiment"],
+            seed=int(payload["seed"]),
+            scale=scale_from_dict(payload["scale"]),
+            num_shards=int(payload["num_shards"]),
+            shard_index=int(payload["shard_index"]),
+            store=payload["store"],
+            run=prints["run"],
+            code=prints["code"],
+            config=prints["config"],
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise StaleManifestError(f"{path} is malformed: {error!r}") from None
+
+
+def validate_manifest(manifest: ShardManifest, path: pathlib.Path) -> None:
+    """Refuse manifests planned under different code or configuration.
+
+    Raised *before* any store access, so a stale plan fails with one
+    clear sentence instead of a confusing cascade of cell misses.
+    """
+    current_code = code_fingerprint()
+    current_config = fingerprint(
+        config_key(manifest.experiment, manifest.seed, manifest.scale)
+    )
+    if manifest.code != current_code:
+        raise StaleManifestError(
+            f"{path} was planned under code fingerprint {manifest.code[:12]} but the "
+            f"installed repro sources fingerprint to {current_code[:12]}; results "
+            "across code versions are not comparable — re-run `repro shard plan`"
+        )
+    if manifest.config != current_config:
+        raise StaleManifestError(
+            f"{path} carries config fingerprint {manifest.config[:12]} but its own "
+            f"contents fingerprint to {current_config[:12]}; the manifest was edited "
+            "inconsistently — re-run `repro shard plan`"
+        )
+    expected_run = run_fingerprint(manifest.experiment, manifest.seed, manifest.scale)
+    if manifest.run != expected_run:
+        raise StaleManifestError(
+            f"{path} names run {manifest.run[:12]} but the current code/config "
+            f"fingerprints to {expected_run[:12]}; re-run `repro shard plan`"
+        )

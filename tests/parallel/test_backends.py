@@ -1,0 +1,222 @@
+"""ExecutionBackend family: contract equivalence, shard/merge mechanics,
+and the round-snapshot broadcast regression."""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ExecutionBackend,
+    ExecutionBackendError,
+    ForkBackend,
+    InlineBackend,
+    MergeBackend,
+    MissingCellError,
+    ShardBackend,
+    resolve_backend,
+    task_rng,
+)
+from repro.parallel.episodes import EpisodePayload, RoundSnapshot, write_snapshot
+from repro.parallel.pool import get_context
+from repro.store import RunStore
+
+
+def _draw(key: tuple) -> float:
+    """Task-identity randomness: the determinism contract's shape."""
+    return float(task_rng(*key).random())
+
+
+def _scaled(x: int) -> int:
+    return x * get_context()["factor"]
+
+
+RUN = "test-run-fingerprint"
+
+
+class TestResolveBackend:
+    def test_defaults_match_the_workers_flag(self):
+        assert isinstance(resolve_backend(None, 1), InlineBackend)
+        fork = resolve_backend(None, 3)
+        assert isinstance(fork, ForkBackend) and fork.workers == 3
+
+    def test_explicit_backend_wins(self):
+        inline = InlineBackend()
+        assert resolve_backend(inline, 8) is inline
+
+    def test_rejects_non_backends(self):
+        with pytest.raises(TypeError, match="ExecutionBackend"):
+            resolve_backend("fork", 1)
+
+
+class TestDirectBackends:
+    @pytest.mark.parametrize("backend", [InlineBackend(), ForkBackend(2)])
+    def test_ordered_context_fanout(self, backend):
+        out = backend.fanout(_scaled, [1, 2, 3], {"factor": 7})
+        assert out == [7, 14, 21]
+
+    def test_inline_equals_fork(self):
+        keys = [(3, i) for i in range(5)]
+        assert InlineBackend().fanout(_draw, keys) == ForkBackend(3).fanout(_draw, keys)
+
+    def test_pool_handle_maps(self):
+        with InlineBackend().pool({"factor": 2}) as pool:
+            assert pool.map(_scaled, [5]) == [10]
+
+    def test_compute_without_store_just_produces(self):
+        assert InlineBackend().compute("stage", {"k": 1}, lambda: 42) == 42
+
+
+class TestShardBackend:
+    def test_rejects_bad_geometry(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(ValueError):
+            ShardBackend(store, RUN, 0, 0)
+        with pytest.raises(ValueError):
+            ShardBackend(store, RUN, 2, 2)
+        with pytest.raises(ValueError, match="missing policy"):
+            ShardBackend(store, RUN, 2, 0, missing="hope")
+
+    def test_matches_inline_and_publishes_every_cell(self, tmp_path):
+        store = RunStore(tmp_path)
+        keys = [(9, i) for i in range(6)]
+        expected = InlineBackend().fanout(_draw, keys)
+        shard = ShardBackend(store, RUN, 3, 1)
+        assert shard.fanout(_draw, keys) == expected
+        # missing="compute" self-heals: every cell is now published.
+        merged = MergeBackend(store, RUN).fanout(_draw, keys)
+        assert merged == expected
+
+    def test_sequential_shards_split_via_the_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        keys = [(1, i) for i in range(5)]
+        first = ShardBackend(store, RUN, 2, 0).fanout(_draw, keys)
+        before = store.stats.writes
+        second = ShardBackend(store, RUN, 2, 1).fanout(_draw, keys)
+        assert first == second == InlineBackend().fanout(_draw, keys)
+        # The second shard loaded everything the first one published.
+        assert store.stats.writes == before
+
+    def test_wait_mode_times_out_with_a_clean_error(self, tmp_path):
+        store = RunStore(tmp_path)
+        shard = ShardBackend(
+            store, RUN, 2, 0, missing="wait", wait_timeout_s=0.3, poll_interval_s=0.05
+        )
+        with pytest.raises(ExecutionBackendError, match="timed out.*peer cell"):
+            shard.fanout(_draw, [(0, i) for i in range(4)])
+        # Its own cells were still computed and published before waiting.
+        peer = ShardBackend(store, RUN, 2, 1, missing="compute")
+        assert peer.fanout(_draw, [(0, i) for i in range(4)]) == InlineBackend().fanout(
+            _draw, [(0, i) for i in range(4)]
+        )
+
+    def test_distinct_fanout_sites_do_not_collide(self, tmp_path):
+        store = RunStore(tmp_path)
+        shard = ShardBackend(store, RUN, 1, 0)
+        a = shard.fanout(_draw, [(5, 0)])
+        b = shard.fanout(_draw, [(6, 0)])  # same site, second visit
+        merged = MergeBackend(store, RUN)
+        assert merged.fanout(_draw, [(5, 0)]) == a
+        assert merged.fanout(_draw, [(6, 0)]) == b
+        assert a != b
+
+    def test_runs_are_isolated_by_fingerprint(self, tmp_path):
+        store = RunStore(tmp_path)
+        ShardBackend(store, "run-a", 1, 0).fanout(_draw, [(7, 0)])
+        with pytest.raises(MissingCellError):
+            MergeBackend(store, "run-b").fanout(_draw, [(7, 0)])
+
+    def test_pool_is_rejected(self, tmp_path):
+        with pytest.raises(ExecutionBackendError, match="persistent pool"):
+            ShardBackend(RunStore(tmp_path), RUN, 2, 0).pool()
+
+    def test_compute_memoizes_in_the_shard_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        calls = []
+        producer = lambda: calls.append(1) or "stage-value"
+        assert ShardBackend(store, RUN, 2, 0).compute("stage", {"s": 1}, producer) == (
+            "stage-value"
+        )
+        assert MergeBackend(store, RUN).compute("stage", {"s": 1}, producer) == (
+            "stage-value"
+        )
+        assert len(calls) == 1
+
+    def test_wait_mode_non_owners_never_compute_stages(self, tmp_path):
+        # Strict partitioning covers stages too: shard 0 owns them, the
+        # rest wait — a second terminal must not duplicate the training.
+        store = RunStore(tmp_path)
+        shard1 = ShardBackend(
+            store, RUN, 2, 1, missing="wait", wait_timeout_s=0.3, poll_interval_s=0.05
+        )
+        with pytest.raises(ExecutionBackendError, match="shard 0 to publish"):
+            shard1.compute("stage", {"s": 2}, lambda: pytest.fail("non-owner computed"))
+        ShardBackend(store, RUN, 2, 0, missing="wait").compute(
+            "stage", {"s": 2}, lambda: "from-shard-0"
+        )
+        assert shard1.compute("stage", {"s": 2}, lambda: pytest.fail("recompute")) == (
+            "from-shard-0"
+        )
+
+
+class TestMergeBackend:
+    def test_never_computes(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(MissingCellError, match="did every `repro shard run`"):
+            MergeBackend(store, RUN).fanout(_draw, [(0, 0)])
+
+    def test_never_computes_stages_either(self, tmp_path):
+        # "Merge is cheap assembly" must hold for memoized stages too:
+        # a premature merge fails fast instead of silently retraining.
+        store = RunStore(tmp_path)
+        with pytest.raises(MissingCellError, match="missing stage"):
+            MergeBackend(store, RUN).compute(
+                "stage", {"s": 9}, lambda: pytest.fail("merge computed a stage")
+            )
+
+
+class TestRoundSnapshotBroadcast:
+    """Regression: batched training used to pickle the full weight
+    snapshot into every one of the K slot payloads per round — a
+    per-task pickle of per-round broadcast state.  Payloads now carry a
+    file reference; weights move O(workers) per round, not O(K)."""
+
+    def test_payload_has_no_inline_state(self):
+        fields = {f.name for f in dataclasses.fields(EpisodePayload)}
+        assert "state" not in fields and "snapshot" in fields
+
+    def test_payload_pickles_small_regardless_of_weights(self, tmp_path):
+        big_state = {"w": np.zeros((256, 256))}
+        snapshot = write_snapshot(big_state, str(tmp_path), version=0)
+        payload = EpisodePayload(problem_index=0, root=1, slot=0, snapshot=snapshot)
+        assert len(pickle.dumps(payload)) < 1024 < len(pickle.dumps(big_state))
+
+    def test_write_snapshot_roundtrips_and_versions(self, tmp_path):
+        first = write_snapshot({"w": np.arange(3.0)}, str(tmp_path), version=0)
+        second = write_snapshot({"w": np.arange(3.0) * 2}, str(tmp_path), version=1)
+        assert first.path == second.path  # one well-known file, replaced atomically
+        assert (first.version, second.version) == (0, 1)
+        with open(second.path, "rb") as handle:
+            assert np.array_equal(pickle.load(handle)["w"], np.arange(3.0) * 2)
+
+    def test_context_caches_by_version(self, tmp_path):
+        from repro.parallel.episodes import BatchContext
+
+        ctx = BatchContext([], None, None, None)
+        snapshot = write_snapshot({"w": np.arange(2.0)}, str(tmp_path), version=0)
+        loaded = ctx.load_snapshot(snapshot)
+        assert ctx.load_snapshot(RoundSnapshot(snapshot.path, 0)) is loaded
+        replaced = write_snapshot({"w": np.arange(2.0) + 1}, str(tmp_path), version=1)
+        assert np.array_equal(ctx.load_snapshot(replaced)["w"], np.arange(2.0) + 1)
+
+
+def test_every_backend_is_an_execution_backend(tmp_path):
+    store = RunStore(tmp_path)
+    for backend in (
+        InlineBackend(),
+        ForkBackend(2),
+        ShardBackend(store, RUN, 2, 0),
+        MergeBackend(store, RUN),
+    ):
+        assert isinstance(backend, ExecutionBackend)

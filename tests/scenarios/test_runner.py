@@ -101,10 +101,10 @@ class TestReplaySemantics:
         calls = 0
         original = runner._oracle_slr
 
-        def counting(workers=1):
+        def counting(workers=1, backend=None):
             nonlocal calls
             calls += 1
-            return original(workers=workers)
+            return original(workers=workers, backend=backend)
 
         runner._oracle_slr = counting
         runner.run({"task-eft": RandomTaskEftPolicy()})
@@ -186,6 +186,28 @@ class TestAdaptHook:
         mat = materialize(small_spec)
         ScenarioRunner(mat).run({"recorder": Recorder()})
         assert seen == [(e.index, e.kind) for e in mat.events]
+
+    def test_single_policy_stays_direct_at_any_worker_count(self, small_spec):
+        # Regression (backend refactor): `workers > 1` with one policy
+        # has nothing to fan out, so the replay must stay on the direct
+        # path — locally-defined (non-picklable) policies keep working
+        # and adapt() side effects stay caller-visible.
+        seen = []
+
+        class Local(AdaptivePolicy):
+            name = "local"
+
+            def adapt(self, event):
+                seen.append(event.index)
+
+            def search(self, problem, objective, initial_placement, episode_length, rng, evaluator=None):
+                return RandomPlacementPolicy().search(
+                    problem, objective, initial_placement, episode_length, rng, evaluator
+                )
+
+        result = ScenarioRunner(small_spec).run({"local": Local()}, workers=4)
+        assert "local" in result.reports
+        assert seen  # adapt() mutations landed on the caller's object
 
     def test_default_adapt_is_noop(self):
         assert RandomPlacementPolicy().adapt(object()) is None

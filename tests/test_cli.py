@@ -131,16 +131,20 @@ class TestExperimentRegistry:
     def test_static_split_matches_run_signatures(self):
         # SERIAL_EXPERIMENT_IDS is declared statically (so help
         # generation stays import-free); this introspects every module's
-        # actual `run` signature so the declaration cannot drift.
+        # actual `run` signature so the declaration cannot drift.  The
+        # workers and backend capabilities must agree: an experiment
+        # that fans out must be shardable, and vice versa.
         from repro.experiments.registry import (
             EXPERIMENT_IDS,
             SERIAL_EXPERIMENT_IDS,
+            supports_backend,
             supports_workers,
         )
 
         for experiment_id in EXPERIMENT_IDS:
             expected = experiment_id not in SERIAL_EXPERIMENT_IDS
             assert supports_workers(experiment_id) is expected, experiment_id
+            assert supports_backend(experiment_id) is expected, experiment_id
 
     def test_help_does_not_import_experiment_modules(self):
         # The CLI builds help from the registry on every invocation;
@@ -167,6 +171,65 @@ class TestExperimentRegistry:
         rc = main(["experiment", "table1", "--scale", "quick", "--workers", "3"])
         assert rc == 0
         assert "runs serially by design" in capsys.readouterr().out
+
+
+class TestShardCli:
+    """`repro shard` wiring.  Planning is pure JSON (no experiment
+    compute), so these run at quick scale; execution/merge semantics are
+    covered at micro scale in tests/shard/."""
+
+    def test_plan_writes_manifests_and_usage(self, tmp_path, capsys):
+        rc = main(
+            ["shard", "plan", "fig15", "--shards", "3", "--scale", "quick",
+             "--out", str(tmp_path)]
+        )
+        assert rc == 0
+        manifests = sorted(tmp_path.glob("shard-*.json"))
+        assert [m.name for m in manifests] == [
+            "shard-0of3.json", "shard-1of3.json", "shard-2of3.json"
+        ]
+        payload = json.loads(manifests[0].read_text())
+        assert payload["experiment"] == "fig15"
+        assert payload["cells"] == {"strategy": "modulo", "modulus": 3, "residue": 0}
+        out = capsys.readouterr().out
+        assert "repro shard run" in out and "repro shard merge" in out
+
+    def test_plan_rejects_serial_experiment(self, capsys):
+        rc = main(["shard", "plan", "table1", "--shards", "2", "--scale", "quick"])
+        assert rc == 2
+        assert "serially by design" in capsys.readouterr().out
+
+    def test_plan_rejects_unknown_experiment(self, capsys):
+        rc = main(["shard", "plan", "no-such-figure", "--shards", "2"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_run_rejects_stale_manifest(self, tmp_path, capsys):
+        main(["shard", "plan", "fig15", "--shards", "1", "--scale", "quick",
+              "--out", str(tmp_path)])
+        manifest = tmp_path / "shard-0of1.json"
+        payload = json.loads(manifest.read_text())
+        payload["fingerprint"]["code"] = "f" * 64
+        manifest.write_text(json.dumps(payload))
+        rc = main(["shard", "run", str(manifest)])
+        assert rc == 2
+        assert "code fingerprint" in capsys.readouterr().out
+
+    def test_merge_on_empty_dir_fails_cleanly(self, tmp_path, capsys):
+        rc = main(["shard", "merge", str(tmp_path)])
+        assert rc == 2
+        assert "no shard-*.json manifests" in capsys.readouterr().out
+
+    def test_experiment_backend_rejected_for_serial(self, capsys):
+        rc = main(["experiment", "table1", "--scale", "quick", "--backend", "fork"])
+        assert rc == 2
+        assert "serially by design" in capsys.readouterr().out
+
+    def test_test_accepts_workers_flag(self):
+        args = build_parser().parse_args(
+            ["test", "--run-folder", "x", "--workers", "2"]
+        )
+        assert args.workers == 2
 
 
 class TestScenario:
