@@ -6,10 +6,12 @@ asserts the qualitative shape the paper reports.  The scale preset is
 selected by ``REPRO_SCALE`` (default: quick).
 
 On top of the printed timings, every benchmark records a machine-
-readable entry — wall-clock seconds plus aggregated evaluator counters
-where the report carries them — and the session writes the collection to
-``results/BENCH_pr5.json`` (uploaded as a CI artifact), so the perf
-trajectory is tracked across commits instead of living only in logs.
+readable entry — wall-clock seconds plus aggregated evaluator/GNN
+counters where the report carries them — and the session writes the
+collection to ``results/BENCH_pr6.json`` (uploaded as a CI artifact), so
+the perf trajectory is tracked across commits instead of living only in
+logs.  ``repro bench report`` folds the per-PR files into one
+trajectory table and gates regressions.
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ import numpy as np
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
-BENCH_JSON = RESULTS_DIR / "BENCH_pr5.json"
+BENCH_JSON = RESULTS_DIR / "BENCH_pr6.json"
 
 # name -> {"seconds": float, ...extras}; flushed at session end.
 _BENCH_RECORDS: dict[str, dict] = {}
@@ -65,6 +67,35 @@ def _aggregate_evaluator_stats(data) -> dict[str, float] | None:
         return None
     looked_up = totals.get("cache_hits", 0) + totals.get("cache_misses", 0)
     totals["hit_rate"] = round(totals.get("cache_hits", 0) / looked_up, 4) if looked_up else 0.0
+    return totals
+
+
+def _aggregate_gnn_stats(data) -> dict[str, float] | None:
+    """Sum every ``"gnn"`` stats block found in a report's data.
+
+    Forward/backward counts are deterministic; the summed
+    ``gnn_seconds`` is wall-clock (it is a VOLATILE_DATA_KEY in report
+    JSON, but benchmark records are timing artifacts, so it belongs
+    here).
+    """
+    totals: dict[str, float] = {}
+
+    def visit(node) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if key == "gnn" and isinstance(value, dict):
+                    for stats in value.values():
+                        if isinstance(stats, dict):
+                            for counter, amount in stats.items():
+                                totals[counter] = totals.get(counter, 0) + amount
+                else:
+                    visit(value)
+
+    visit(data)
+    if not totals:
+        return None
+    if "gnn_seconds" in totals:
+        totals["gnn_seconds"] = round(totals["gnn_seconds"], 4)
     return totals
 
 
@@ -110,6 +141,9 @@ def run_experiment(benchmark):
         stats = _aggregate_evaluator_stats(report.data)
         if stats is not None:
             extra["evaluator"] = stats
+        gnn = _aggregate_gnn_stats(report.data)
+        if gnn is not None:
+            extra["gnn"] = gnn
         record_bench(report.experiment_id, elapsed, **extra)
         return report
 

@@ -4,6 +4,16 @@
 cases that are extracted from the application trace."  This module runs
 the mobility model, walks every (snapshot, intersection) pair with at
 least one interacting CAV, and yields the corresponding scenarios.
+
+Cold extractions can fan contiguous snapshot windows across processes
+(:func:`extract_trace_windowed`).  This is sound because the walk is a
+pure function of ``(config, stream)``: :class:`TrafficSimulation`
+consumes all of its randomness in ``__init__`` and ``snapshot(t)`` is a
+pure lookup, so every worker can rebuild the identical simulated world
+from the seed stream and evaluate its own slice of the snapshot times.
+The windowed walk is bit-identical to the serial one (pinned by
+``tests/casestudy/test_trace_parallel.py``), which is what lets the
+cached entry point share one cache key for both.
 """
 
 from __future__ import annotations
@@ -15,12 +25,24 @@ from typing import Sequence
 
 import numpy as np
 
+from ..parallel.backends import (
+    ExecutionBackend,
+    ExecutionBackendError,
+    resolve_backend,
+)
+from ..parallel.pool import get_context
 from ..store import active_store, fingerprint
 from .devicemodel import LatencyFit, fit_latency_model
 from .pipeline import CaseStudyScenario, EdgeDeviceLayout, PipelineConfig, SensorFusionBuilder
-from .traffic import TrafficConfig, TrafficSimulation
+from .traffic import TrafficConfig, TrafficSimulation, TrafficSnapshot
 
-__all__ = ["TraceConfig", "extract_trace", "extract_trace_cached", "trace_key"]
+__all__ = [
+    "TraceConfig",
+    "extract_trace",
+    "extract_trace_windowed",
+    "extract_trace_cached",
+    "trace_key",
+]
 
 
 @dataclass(frozen=True)
@@ -33,12 +55,15 @@ class TraceConfig:
     max_cavs_per_case: int = 6  # cap pipeline width to keep cases tractable
 
 
-def extract_trace(
-    config: TraceConfig, rng: np.random.Generator, fit: LatencyFit | None = None
-) -> list[CaseStudyScenario]:
-    """Simulate traffic and extract one scenario per active intersection
-    per snapshot."""
-    fit = fit or fit_latency_model()
+def _build_world(
+    config: TraceConfig, rng: np.random.Generator, fit: LatencyFit
+) -> tuple[TrafficSimulation, SensorFusionBuilder]:
+    """Deterministically rebuild the simulated world from ``rng``.
+
+    Consumes the generator in a fixed order (simulation first, then the
+    device layout) so the serial walk and every window worker derive the
+    identical world from equal seed streams.
+    """
     sim = TrafficSimulation(config.traffic, rng)
     area = (
         (config.traffic.grid_cols - 1) * config.traffic.block_meters,
@@ -48,31 +73,131 @@ def extract_trace(
     builder = SensorFusionBuilder(
         fit, config.pipeline, layout, interaction_radius_m=config.traffic.interaction_radius_m
     )
+    return sim, builder
+
+
+def _scan_snapshot(
+    sim: TrafficSimulation,
+    builder: SensorFusionBuilder,
+    config: TraceConfig,
+    snapshot: TrafficSnapshot,
+) -> list[CaseStudyScenario]:
+    """All scenarios of one snapshot, in intersection order.
+
+    Pure given its arguments (``build_scenario`` draws no randomness),
+    so the trace is the concatenation of per-snapshot scans in time
+    order — the invariant the windowed extraction rests on.
+    """
+    scenarios: list[CaseStudyScenario] = []
+    for intersection in sim.intersections:
+        cavs = snapshot.cavs_near(intersection, config.traffic.interaction_radius_m)
+        if not cavs:
+            continue
+        if len(cavs) > config.max_cavs_per_case:
+            # Keep the nearest CAVs; wide intersections otherwise blow
+            # up the pipeline (the paper's RSUs plan per-approach).
+            ix, iy = intersection.position
+            nearest = sorted(
+                cavs,
+                key=lambda v: (v.position[0] - ix) ** 2 + (v.position[1] - iy) ** 2,
+            )[: config.max_cavs_per_case]
+            snapshot_slice = TrafficSnapshot(snapshot.time_s, tuple(nearest))
+        else:
+            snapshot_slice = snapshot
+        scenario = builder.build_scenario(snapshot_slice, intersection)
+        if scenario is not None:
+            scenarios.append(scenario)
+    return scenarios
+
+
+def extract_trace(
+    config: TraceConfig, rng: np.random.Generator, fit: LatencyFit | None = None
+) -> list[CaseStudyScenario]:
+    """Simulate traffic and extract one scenario per active intersection
+    per snapshot."""
+    fit = fit or fit_latency_model()
+    sim, builder = _build_world(config, rng, fit)
 
     scenarios: list[CaseStudyScenario] = []
     for snapshot in sim.snapshots():
-        for intersection in sim.intersections:
-            cavs = snapshot.cavs_near(intersection, config.traffic.interaction_radius_m)
-            if not cavs:
-                continue
-            if len(cavs) > config.max_cavs_per_case:
-                # Keep the nearest CAVs; wide intersections otherwise blow
-                # up the pipeline (the paper's RSUs plan per-approach).
-                ix, iy = intersection.position
-                nearest = sorted(
-                    cavs,
-                    key=lambda v: (v.position[0] - ix) ** 2 + (v.position[1] - iy) ** 2,
-                )[: config.max_cavs_per_case]
-                from .traffic import TrafficSnapshot
+        scenarios.extend(_scan_snapshot(sim, builder, config, snapshot))
+        if config.max_cases is not None and len(scenarios) >= config.max_cases:
+            return scenarios[: config.max_cases]
+    return scenarios
 
-                snapshot_slice = TrafficSnapshot(snapshot.time_s, tuple(nearest))
-            else:
-                snapshot_slice = snapshot
-            scenario = builder.build_scenario(snapshot_slice, intersection)
-            if scenario is not None:
-                scenarios.append(scenario)
-            if config.max_cases is not None and len(scenarios) >= config.max_cases:
-                return scenarios
+
+@dataclass(frozen=True)
+class _WindowContext:
+    """Broadcast state of a windowed extraction (one pickle per pool).
+
+    Ships the parent-computed :class:`LatencyFit` so workers skip the
+    scipy fitting stage; the seed ``stream`` travels instead of a
+    generator because every worker must rebuild the world from the
+    stream's *initial* state.
+    """
+
+    config: TraceConfig
+    stream: tuple[int, ...]
+    fit: LatencyFit
+
+
+def _extract_window(window: tuple[int, int]) -> list[CaseStudyScenario]:
+    """Worker: scenarios of snapshot-index window ``[start, stop)``."""
+    ctx: _WindowContext = get_context()
+    config = ctx.config
+    sim, builder = _build_world(config, np.random.default_rng(list(ctx.stream)), ctx.fit)
+    times = config.traffic.snapshot_times()[window[0] : window[1]]
+    scenarios: list[CaseStudyScenario] = []
+    for t in times:
+        scenarios.extend(_scan_snapshot(sim, builder, config, sim.snapshot(float(t))))
+        if config.max_cases is not None and len(scenarios) >= config.max_cases:
+            # Any scenario beyond the cap already has >= max_cases
+            # predecessors within this window alone, so it cannot be
+            # among the first max_cases of the merged trace either —
+            # truncating here loses nothing the serial walk would keep.
+            return scenarios[: config.max_cases]
+    return scenarios
+
+
+def extract_trace_windowed(
+    config: TraceConfig,
+    stream: Sequence[int],
+    fit: LatencyFit | None = None,
+    workers: int = 1,
+    backend: ExecutionBackend | None = None,
+    num_windows: int | None = None,
+) -> list[CaseStudyScenario]:
+    """Window-parallel :func:`extract_trace`, bit-identical to serial.
+
+    Splits the snapshot times into ``num_windows`` (default: one per
+    worker) contiguous windows and fans them over ``backend`` (default:
+    inline/fork sized by ``workers``).  Each worker rebuilds the
+    simulated world from ``default_rng(list(stream))`` — cheap next to
+    the snapshot walk — and scans only its own window; windows merge in
+    time order and truncate to ``config.max_cases``, reproducing the
+    serial early-stop exactly.
+
+    Only direct-execution backends are accepted: a store-conditional
+    backend (shard/merge) would skip fan-out legs whose cells exist,
+    desynchronizing the positional window merge.
+    """
+    fit = fit or fit_latency_model()
+    resolved = resolve_backend(backend, workers)
+    if resolved.name not in ("inline", "fork"):
+        raise ExecutionBackendError(
+            f"trace windows need a direct-execution backend, got {resolved.name!r}; "
+            "shard runs parallelize extraction per shard via workers instead"
+        )
+    times = config.traffic.snapshot_times()
+    if num_windows is None:
+        num_windows = max(1, min(len(times), resolved.workers))
+    bounds = np.linspace(0, len(times), num_windows + 1).astype(int)
+    windows = [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+    context = _WindowContext(config, tuple(int(s) for s in stream), fit)
+    chunks = resolved.fanout(_extract_window, windows, context)
+    scenarios = [scenario for chunk in chunks for scenario in chunk]
+    if config.max_cases is not None:
+        scenarios = scenarios[: config.max_cases]
     return scenarios
 
 
@@ -91,6 +216,15 @@ def trace_key(config: TraceConfig, stream: Sequence[int]) -> dict:
     }
 
 
+def _extract(
+    config: TraceConfig, stream: Sequence[int], fit: LatencyFit | None, workers: int
+) -> list[CaseStudyScenario]:
+    """Serial or windowed extraction — same result either way."""
+    if workers != 1:
+        return extract_trace_windowed(config, stream, fit=fit, workers=workers)
+    return extract_trace(config, np.random.default_rng(list(stream)), fit=fit)
+
+
 # In-process memo: trace fingerprint -> scenario list.  Small LRU — a
 # session touches a handful of (scale, stream) combinations at most.
 _MEMO_MAX = 8
@@ -98,7 +232,10 @@ _MEMO: OrderedDict[str, list[CaseStudyScenario]] = OrderedDict()
 
 
 def extract_trace_cached(
-    config: TraceConfig, stream: Sequence[int], fit: LatencyFit | None = None
+    config: TraceConfig,
+    stream: Sequence[int],
+    fit: LatencyFit | None = None,
+    workers: int = 1,
 ) -> tuple[list[CaseStudyScenario], str]:
     """Memoized :func:`extract_trace` keyed by ``(config, stream)``.
 
@@ -118,11 +255,14 @@ def extract_trace_cached(
     part of the cache key, so caching it would serve its scenarios to
     default-fit callers (and vice versa) — those calls bypass both
     cache layers instead.
+
+    ``workers > 1`` routes cold extractions through
+    :func:`extract_trace_windowed`.  The windowed walk is bit-identical
+    to the serial one, so worker count never enters the cache key — a
+    serial run and a parallel run publish interchangeable entries.
     """
     if fit is not None:
-        return extract_trace(config, np.random.default_rng(list(stream)), fit=fit), (
-            "extracted"
-        )
+        return _extract(config, stream, fit, workers), "extracted"
     key = trace_key(config, stream)
     address = fingerprint(key)
     store = active_store()
@@ -142,7 +282,7 @@ def extract_trace_cached(
         scenarios = store.load("trace", key)
         source = "store"
     if scenarios is None:
-        scenarios = extract_trace(config, np.random.default_rng(list(stream)))
+        scenarios = _extract(config, stream, None, workers)
         if store is not None:
             store.save("trace", key, scenarios)
     _MEMO[address] = scenarios

@@ -53,6 +53,15 @@ class TrafficConfig:
     def num_intersections(self) -> int:
         return self.grid_rows * self.grid_cols
 
+    def snapshot_times(self) -> np.ndarray:
+        """Sampling times of the trace, shared by the serial and the
+        windowed trace walks (a window is a slice of this array)."""
+        return np.arange(
+            self.snapshot_interval_s,
+            self.duration_s + 1e-9,
+            self.snapshot_interval_s,
+        )
+
 
 @dataclass(frozen=True)
 class Intersection:
@@ -173,9 +182,4 @@ class TrafficSimulation:
 
     def snapshots(self) -> list[TrafficSnapshot]:
         """The full trace at the configured sampling cadence."""
-        times = np.arange(
-            self.config.snapshot_interval_s,
-            self.config.duration_s + 1e-9,
-            self.config.snapshot_interval_s,
-        )
-        return [self.snapshot(float(t)) for t in times]
+        return [self.snapshot(float(t)) for t in self.config.snapshot_times()]

@@ -11,7 +11,9 @@ Subcommands (Artifact Appendix A.5-A.6):
 * ``experiment``  — run one of the paper's table/figure experiments,
                     on a selectable execution backend;
 * ``shard``       — plan/run/merge an experiment split across processes
-                    or machines (file-based transport, see repro.shard).
+                    or machines (file-based transport, see repro.shard);
+* ``bench``       — fold the per-PR benchmark JSON files into one
+                    trajectory table and gate perf regressions.
 
 Usage:  python -m repro train --episodes 50 --logdir runs
 """
@@ -134,6 +136,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="manifest file(s) or the plan directory")
     merge.add_argument("--json", default=None, metavar="PATH",
                        help="also write the report's canonical JSON to PATH")
+
+    bench = sub.add_parser(
+        "bench", help="inspect the recorded per-PR benchmark trajectory"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    breport = bench_sub.add_parser(
+        "report",
+        help="fold results/BENCH_pr*.json into one trajectory table "
+             "(optionally gating regressions)",
+    )
+    breport.add_argument("--results-dir", default="results",
+                         help="directory holding BENCH_pr*.json files")
+    breport.add_argument("--check", action="store_true",
+                         help="exit non-zero if the newest file regresses any "
+                              "tracked row vs the baseline beyond --tolerance, "
+                              "or the episode hot-path speedup is below "
+                              "--min-episode-speedup")
+    breport.add_argument("--baseline", default=None, metavar="PR",
+                         help="PR number to compare the newest file against "
+                              "(default: the second-newest file)")
+    breport.add_argument("--tolerance", type=float, default=0.20,
+                         help="allowed fractional wall-clock growth per row "
+                              "before --check fails (default: 0.20)")
+    breport.add_argument("--min-episode-speedup", type=float, default=3.0,
+                         help="minimum recorded episode_hot_path speedup for "
+                              "--check (default: 3.0)")
 
     scen = sub.add_parser(
         "scenario", help="replay a dynamic-cluster scenario (see repro.scenarios)"
@@ -349,6 +377,113 @@ def _scenario_policies(names: list[str]):
     return {name: factories[name]() for name in dict.fromkeys(names)}
 
 
+def _load_bench_files(results_dir: pathlib.Path) -> list[tuple[int, dict]]:
+    """(pr number, benchmarks dict) for every BENCH_pr*.json, ascending."""
+    import re
+
+    out = []
+    for path in sorted(results_dir.glob("BENCH_pr*.json")):
+        match = re.fullmatch(r"BENCH_pr(\d+)\.json", path.name)
+        if not match:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            print(f"warning: skipping unreadable {path}")
+            continue
+        out.append((int(match.group(1)), payload.get("benchmarks", {})))
+    out.sort(key=lambda item: item[0])
+    return out
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``repro bench report``: the perf trajectory across PR files.
+
+    One row per benchmark, one column per ``BENCH_pr<N>.json`` (seconds;
+    rows are comparable only where scale matches — mismatched cells are
+    flagged).  With ``--check``, the newest file is gated against the
+    baseline: any tracked row more than ``--tolerance`` slower fails,
+    and the ``episode_hot_path`` record must exist with a speedup of at
+    least ``--min-episode-speedup``.
+    """
+    from .experiments.reporting import format_table
+
+    results_dir = pathlib.Path(args.results_dir)
+    files = _load_bench_files(results_dir)
+    if not files:
+        print(f"error: no BENCH_pr*.json files under {results_dir}")
+        return 2
+
+    names = sorted({name for _, benches in files for name in benches})
+    newest_pr, newest = files[-1]
+    newest_scales = {n: r.get("scale") for n, r in newest.items()}
+    rows = []
+    for name in names:
+        row: list[object] = [name]
+        for _, benches in files:
+            record = benches.get(name)
+            if record is None:
+                row.append("-")
+            elif record.get("scale") != newest_scales.get(name, record.get("scale")):
+                # seconds across scales are not comparable; show but flag
+                row.append(f"{record['seconds']:.3f}*")
+            else:
+                row.append(float(record["seconds"]))
+        rows.append(row)
+    headers = ["benchmark"] + [f"pr{pr} (s)" for pr, _ in files]
+    print(format_table(headers, rows, title="benchmark trajectory (wall-clock seconds)"))
+    if any("*" in str(cell) for row in rows for cell in row):
+        print("(* = recorded at a different scale than the newest file; not comparable)")
+
+    episode = newest.get("episode_hot_path")
+    if episode is not None and "speedup" in episode:
+        print(f"\nepisode hot path (pr{newest_pr}): {episode['seconds']:.3f}s vectorized "
+              f"vs {episode.get('loop_seconds', float('nan')):.3f}s loop reference "
+              f"— {episode['speedup']:.2f}x")
+
+    if not args.check:
+        return 0
+
+    failures: list[str] = []
+    if args.baseline is not None:
+        candidates = [f for f in files if f[0] == int(args.baseline)]
+        if not candidates:
+            print(f"error: no BENCH_pr{args.baseline}.json under {results_dir}")
+            return 2
+        base_pr, base = candidates[0]
+    elif len(files) >= 2:
+        base_pr, base = files[-2]
+    else:
+        base_pr, base = None, {}
+
+    for name in names:
+        old, new = base.get(name), newest.get(name)
+        if old is None or new is None or old.get("scale") != new.get("scale"):
+            continue
+        allowed = old["seconds"] * (1.0 + args.tolerance)
+        if new["seconds"] > allowed:
+            failures.append(
+                f"{name}: {new['seconds']:.3f}s (pr{newest_pr}) vs "
+                f"{old['seconds']:.3f}s (pr{base_pr}) exceeds the "
+                f"{args.tolerance:.0%} regression budget"
+            )
+    if episode is None:
+        failures.append("episode_hot_path record missing from the newest file")
+    elif episode.get("speedup", 0.0) < args.min_episode_speedup:
+        failures.append(
+            f"episode_hot_path speedup {episode.get('speedup', 0.0):.2f}x is below "
+            f"the required {args.min_episode_speedup:.1f}x"
+        )
+    if failures:
+        print("\nbench check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    baseline_note = f" vs pr{base_pr}" if base_pr is not None else " (no baseline file)"
+    print(f"\nbench check passed{baseline_note}")
+    return 0
+
+
 def _shard_dir(experiment: str, seed: int, scale) -> pathlib.Path:
     return pathlib.Path("runs") / "shards" / f"{experiment}-seed{seed}-{scale.name}"
 
@@ -500,6 +635,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "scenario": cmd_scenario,
         "shard": cmd_shard,
+        "bench": cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -7,8 +7,16 @@ The primary public surface of the library:
 
 from .agent import GiPHAgent
 from .env import EnvState, PlacementEnv, default_episode_length
-from .features import EDGE_FEATURE_DIM, NODE_FEATURE_DIM, FeatureConfig, GpNetBuilder
+from .features import (
+    EDGE_FEATURE_DIM,
+    NODE_FEATURE_DIM,
+    FeatureConfig,
+    GpNetBuilder,
+    GpNetStructure,
+    structure_of,
+)
 from .gnn import (
+    GnnStats,
     GpNetEmbedding,
     GraphSageNoEdge,
     KStepMessagePassing,
@@ -16,7 +24,9 @@ from .gnn import (
     TwoWayMessagePassing,
     TwoWayNoEdge,
     augment_with_out_edge_means,
+    gnn_stats,
     make_embedding,
+    reference_path,
 )
 from .gpnet import GpNet, build_gpnet
 from .placement import (
@@ -49,11 +59,16 @@ __all__ = [
     "default_episode_length",
     "FeatureConfig",
     "GpNetBuilder",
+    "GpNetStructure",
+    "structure_of",
     "NODE_FEATURE_DIM",
     "EDGE_FEATURE_DIM",
     "GpNet",
     "build_gpnet",
     "GpNetEmbedding",
+    "GnnStats",
+    "gnn_stats",
+    "reference_path",
     "TwoWayMessagePassing",
     "KStepMessagePassing",
     "TwoWayNoEdge",

@@ -40,7 +40,15 @@ from ..sim.executor import SimResult, simulate
 from .gpnet import GpNet, build_gpnet
 from .placement import PlacementProblem
 
-__all__ = ["FeatureConfig", "GpNetBuilder", "NODE_FEATURE_DIM", "EDGE_FEATURE_DIM"]
+__all__ = [
+    "FeatureConfig",
+    "GpNetBuilder",
+    "GpNetStructure",
+    "DirectionPlan",
+    "structure_of",
+    "NODE_FEATURE_DIM",
+    "EDGE_FEATURE_DIM",
+]
 
 NODE_FEATURE_DIM = 4
 EDGE_FEATURE_DIM = 4
@@ -56,6 +64,160 @@ class FeatureConfig:
 
     use_start_time_potential: bool = True
     normalize: bool = True
+
+
+def _group_edges_by_task(edge_tasks: np.ndarray, num_tasks: int) -> list[np.ndarray]:
+    """gpNet edge indices grouped by the task id in ``edge_tasks``.
+
+    Stable sort, so each group lists its edges in ascending gpNet-edge
+    order — the aggregation order both GNN paths (vectorized and loop
+    reference) share.
+    """
+    order = np.argsort(edge_tasks, kind="stable")
+    sorted_tasks = edge_tasks[order]
+    bounds = np.searchsorted(sorted_tasks, np.arange(num_tasks + 1))
+    return [order[bounds[t] : bounds[t + 1]] for t in range(num_tasks)]
+
+
+def _task_topo_levels(
+    src_tasks: np.ndarray, dst_tasks: np.ndarray, num_tasks: int
+) -> np.ndarray:
+    """Longest-path layering of the task DAG induced by the gpNet edges.
+
+    ``level[t] = 1 + max(level[parents of t])`` (0 for sources) — every
+    task's senders sit strictly below it, so one batched message pass
+    per level finalizes the whole frontier at once.
+    """
+    children: list[list[int]] = [[] for _ in range(num_tasks)]
+    indeg = np.zeros(num_tasks, dtype=np.int64)
+    for s, d in sorted({(int(a), int(b)) for a, b in zip(src_tasks, dst_tasks)}):
+        children[s].append(d)
+        indeg[d] += 1
+    level = np.zeros(num_tasks, dtype=np.int64)
+    frontier = [t for t in range(num_tasks) if indeg[t] == 0]
+    seen = 0
+    while frontier:
+        t = frontier.pop()
+        seen += 1
+        for c in children[t]:
+            level[c] = max(level[c], level[t] + 1)
+            indeg[c] -= 1
+            if indeg[c] == 0:
+                frontier.append(c)
+    if seen != num_tasks:
+        raise RuntimeError("gpNet induced a cyclic task order")
+    return level
+
+
+@dataclass(frozen=True)
+class _LevelPlan:
+    """One frontier of a directional GNN sweep.
+
+    ``nodes`` — gpNet node ids finalized at this level (the concatenated
+    option sets of the level's tasks, ascending task order);
+    ``edge_idx`` — gpNet edges delivering messages into those nodes,
+    grouped by receiving task with each group in ascending edge order,
+    so ``node_local[receiver(edge_idx)]`` are the segment ids of one
+    batched aggregation over the level.  Edge *endpoints* (sender node
+    ids, receiver rows) are deliberately not cached here: they move
+    with the pivots, so the sweep resolves them per forward from the
+    net it is embedding.
+    """
+
+    tasks: tuple[int, ...]
+    nodes: np.ndarray
+    edge_idx: np.ndarray
+
+
+@dataclass(frozen=True)
+class DirectionPlan:
+    """Frontier-batching schedule for one message-passing direction."""
+
+    levels: tuple[_LevelPlan, ...]
+    # node id -> row within its level's ``nodes`` (placement-independent:
+    # node ids and option ranges are fixed by the problem layout).
+    node_local: np.ndarray
+
+
+@dataclass(frozen=True)
+class GpNetStructure:
+    """Placement-independent structural caches of one problem's gpNets.
+
+    Everything the GNN hot path needs beyond the feature arrays — task
+    topo order, per-task edge groupings, and the per-direction frontier
+    plans — is a pure function of the problem *layout*: gpNet edge
+    endpoints move with the pivots, but each edge block's endpoint
+    *tasks* are fixed (``GpNetBuilder._check_layout`` guards this), so
+    one structure serves every placement of the problem.  Computed once
+    per builder (or lazily per net via :func:`structure_of`) instead of
+    being re-derived on every forward.
+    """
+
+    task_order: tuple[int, ...]
+    forward_plan: DirectionPlan
+    backward_plan: DirectionPlan
+    # Per receiving-task gpNet edge indices (forward: grouped by the
+    # edge's dst task; backward: by its src task) — the cached result of
+    # ``_group_edges_by_task`` the loop reference consumes.
+    edge_groups_forward: tuple[np.ndarray, ...]
+    edge_groups_backward: tuple[np.ndarray, ...]
+
+    @classmethod
+    def from_gpnet(cls, net: GpNet) -> "GpNetStructure":
+        num_tasks = len(net.options)
+        src_tasks = net.task_of[net.edge_src]
+        dst_tasks = net.task_of[net.edge_dst]
+        groups_fwd = tuple(_group_edges_by_task(dst_tasks, num_tasks))
+        groups_bwd = tuple(_group_edges_by_task(src_tasks, num_tasks))
+        levels_fwd = _task_topo_levels(src_tasks, dst_tasks, num_tasks)
+        levels_bwd = _task_topo_levels(dst_tasks, src_tasks, num_tasks)
+        order = np.lexsort((np.arange(num_tasks), levels_fwd))
+        return cls(
+            task_order=tuple(int(t) for t in order),
+            forward_plan=cls._plan(net, levels_fwd, groups_fwd),
+            backward_plan=cls._plan(net, levels_bwd, groups_bwd),
+            edge_groups_forward=groups_fwd,
+            edge_groups_backward=groups_bwd,
+        )
+
+    @staticmethod
+    def _plan(
+        net: GpNet, level_of: np.ndarray, groups: tuple[np.ndarray, ...]
+    ) -> DirectionPlan:
+        node_local = np.zeros(net.num_nodes, dtype=np.int64)
+        levels: list[_LevelPlan] = []
+        num_levels = int(level_of.max()) + 1 if len(level_of) else 0
+        for lv in range(num_levels):
+            tasks = tuple(int(t) for t in np.flatnonzero(level_of == lv))
+            parts, pos = [], 0
+            for t in tasks:
+                opts = net.options[t]
+                node_local[opts] = np.arange(pos, pos + len(opts))
+                pos += len(opts)
+                parts.append(opts)
+            nodes = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            group_parts = [groups[t] for t in tasks if len(groups[t])]
+            edge_idx = (
+                np.concatenate(group_parts) if group_parts else np.empty(0, dtype=np.int64)
+            )
+            levels.append(_LevelPlan(tasks=tasks, nodes=nodes, edge_idx=edge_idx))
+        return DirectionPlan(levels=tuple(levels), node_local=node_local)
+
+
+def structure_of(gpnet: GpNet) -> GpNetStructure:
+    """The gpNet's cached :class:`GpNetStructure` (computed on first use).
+
+    Nets built by a :class:`GpNetBuilder` arrive with the builder's one
+    shared instance already attached; nets built directly (e.g. via
+    ``build_gpnet`` in tests) get a private instance attached here on
+    first embed.  Either way, repeat forwards of an episode pay for the
+    structural derivation exactly once.
+    """
+    cached = getattr(gpnet, "_structure", None)
+    if cached is None:
+        cached = GpNetStructure.from_gpnet(gpnet)
+        object.__setattr__(gpnet, "_structure", cached)
+    return cached
 
 
 @dataclass(frozen=True)
@@ -137,26 +299,59 @@ class GpNetBuilder:
             for i in range(graph.num_tasks)
         )
         self._last: _RawBuild | None = None
+        # One GpNetStructure serves every placement of the problem (the
+        # task-level layout is placement-independent); computed lazily on
+        # the first finalized build, shared by reference thereafter.
+        self._structure: GpNetStructure | None = None
+
+        # Flattened (parent edge, option node) pairs for the start-time
+        # potential: pair p covers every option node of the edge's child
+        # task.  Static — only placements/timelines vary per build.
+        pot_parent: list[int] = []
+        pot_child: list[int] = []
+        pot_data: list[float] = []
+        pot_nodes: list[np.ndarray] = []
+        pot_rep: list[np.ndarray] = []
+        for pair_index, (p, i) in enumerate(graph.edges):
+            pot_parent.append(p)
+            pot_child.append(i)
+            pot_data.append(float(graph.edges[(p, i)]))
+            pot_nodes.append(self._options[i])
+            pot_rep.append(np.full(len(self._options[i]), pair_index, dtype=np.int64))
+        self._pot_parent = np.array(pot_parent, dtype=np.int64)
+        self._pot_child = np.array(pot_child, dtype=np.int64)
+        self._pot_data = np.array(pot_data, dtype=np.float64)
+        self._pot_nodes = (
+            np.concatenate(pot_nodes) if pot_nodes else np.zeros(0, dtype=np.int64)
+        )
+        self._pot_rep = (
+            np.concatenate(pot_rep) if pot_rep else np.zeros(0, dtype=np.int64)
+        )
 
     # -- feature maps -------------------------------------------------------------
 
     def _start_potentials(self, placement: Sequence[int], timeline: SimResult) -> np.ndarray:
-        """Column 4 of f_n for every node, vectorized over each option set."""
-        graph = self.problem.graph
-        delay = self.problem.network.delay
-        inv_bw = self._inv_bw
-        edges = graph.edges
-        finish, start = timeline.finish, timeline.start
-        out = np.empty(self._num_nodes)
-        for i, feas in enumerate(self._feas_arrays):
-            o = self._offsets[i]
-            est = np.zeros(len(feas))
-            for p in graph.parents[i]:
-                ps = placement[p]
-                cand = finish[p] + (delay[ps, feas] + edges[(p, i)] * inv_bw[ps, feas])
-                np.maximum(est, cand, out=est)
-            out[o : o + len(feas)] = est - start[i]
-        return out
+        """Column 4 of f_n for every node, in one sweep over all nodes.
+
+        One ``np.maximum.at`` over the precomputed (parent edge, option
+        node) pairs replaces the per-task/per-parent Python loop.  Max
+        is exact on floats and the candidate expression keeps the
+        original grouping ``finish + (delay + data * inv_bw)``, so the
+        sweep is bit-identical to the loop it replaced.
+        """
+        finish = np.asarray(timeline.finish, dtype=np.float64)
+        start = np.asarray(timeline.start, dtype=np.float64)
+        out = np.zeros(self._num_nodes)
+        if len(self._pot_nodes):
+            placement_arr = np.asarray(placement, dtype=np.int64)
+            ps = placement_arr[self._pot_parent][self._pot_rep]
+            d = self._device_of[self._pot_nodes]
+            delay = self.problem.network.delay
+            cand = finish[self._pot_parent][self._pot_rep] + (
+                delay[ps, d] + self._pot_data[self._pot_rep] * self._inv_bw[ps, d]
+            )
+            np.maximum.at(out, self._pot_nodes, cand)
+        return out - start[self._task_of]
 
     def _node_features(self, placement: Sequence[int], timeline: SimResult) -> np.ndarray:
         feats = np.empty((self._num_nodes, NODE_FEATURE_DIM))
@@ -297,26 +492,43 @@ class GpNetBuilder:
         edge_src = last.edge_src.copy()
         edge_dst = last.edge_dst.copy()
         edge_features = last.edge_features.copy()
-        f_e = self._edge_feature_fn(placement)
+        delay = self.problem.network.delay
         for (i, j) in self._incident_edges[moved_task]:
+            # Whole-block array fill (pivot_i -> options_j, then
+            # options_i \ pivot_i -> pivot_j), elementwise-identical to
+            # the per-edge f_e() loop it replaced: same `delay + data *
+            # inv_bw` grouping, same exact 0.0 for co-located pairs.
             pos, size = self._edge_blocks[(i, j)]
             pi, pj = pivot_node[i], pivot_node[j]
-            src: list[int] = []
-            dst: list[int] = []
-            feats: list[np.ndarray] = []
-            for u2 in self._options[j]:
-                src.append(pi)
-                dst.append(int(u2))
-                feats.append(f_e((i, j), placement[i], int(self._device_of[u2])))
-            for u1 in self._options[i]:
-                if int(u1) == pi:
-                    continue
-                src.append(int(u1))
-                dst.append(pj)
-                feats.append(f_e((i, j), int(self._device_of[u1]), placement[j]))
+            opts_i, opts_j = self._options[i], self._options[j]
+            others_i = opts_i[opts_i != pi]
+            src = np.concatenate([np.full(len(opts_j), pi, dtype=np.int64), others_i])
+            dst = np.concatenate(
+                [opts_j, np.full(len(others_i), pj, dtype=np.int64)]
+            )
+            src_dev = np.concatenate(
+                [
+                    np.full(len(opts_j), placement[i], dtype=np.int64),
+                    self._device_of[others_i],
+                ]
+            )
+            dst_dev = np.concatenate(
+                [
+                    self._device_of[opts_j],
+                    np.full(len(others_i), placement[j], dtype=np.int64),
+                ]
+            )
+            data = graph.edges[(i, j)]
+            inv = self._inv_bw[src_dev, dst_dev]
+            dly = delay[src_dev, dst_dev]
+            block = np.empty((size, EDGE_FEATURE_DIM))
+            block[:, 0] = data
+            block[:, 1] = inv
+            block[:, 2] = dly
+            block[:, 3] = np.where(src_dev == dst_dev, 0.0, dly + data * inv)
             edge_src[pos : pos + size] = src
             edge_dst[pos : pos + size] = dst
-            edge_features[pos : pos + size] = feats
+            edge_features[pos : pos + size] = block
 
         net = GpNet(
             task_of=self._task_of,
@@ -346,19 +558,22 @@ class GpNetBuilder:
         state — GpNets are treated as immutable throughout the codebase;
         mutating one in place would corrupt subsequent incremental
         updates."""
-        if not self.config.normalize:
-            return net
-        return GpNet(
-            task_of=net.task_of,
-            device_of=net.device_of,
-            is_pivot=net.is_pivot,
-            options=net.options,
-            edge_src=net.edge_src,
-            edge_dst=net.edge_dst,
-            node_features=self._normalize(net.node_features),
-            edge_features=self._normalize(net.edge_features),
-            placement=net.placement,
-        )
+        if self.config.normalize:
+            net = GpNet(
+                task_of=net.task_of,
+                device_of=net.device_of,
+                is_pivot=net.is_pivot,
+                options=net.options,
+                edge_src=net.edge_src,
+                edge_dst=net.edge_dst,
+                node_features=self._normalize(net.node_features),
+                edge_features=self._normalize(net.edge_features),
+                placement=net.placement,
+            )
+        if self._structure is None:
+            self._structure = GpNetStructure.from_gpnet(net)
+        object.__setattr__(net, "_structure", self._structure)
+        return net
 
     def timeline(self, placement: Sequence[int]) -> SimResult:
         """Noise-free schedule of ``placement`` (expectation timeline)."""

@@ -23,19 +23,43 @@ Alternatives evaluated in Appendix B.6 are provided:
 Architecture dimensions follow Tables 4-5: raw node/edge features are
 4-dimensional, per-direction embeddings 5-dimensional (10 concatenated),
 pre-embedding is a two-layer FNN with hidden size equal to the input.
+
+Hot path
+--------
+The recurrent sweeps run **vectorized**: one batched gather → message →
+segment-aggregate → scatter round per topo *level* (frontier batching)
+instead of a Python loop over tasks, driven by the placement-independent
+:class:`~repro.core.features.GpNetStructure` cached on each gpNet.  The
+original per-task loop survives as ``forward_reference`` and is pinned
+bit-identical to the vectorized sweep by property tests
+(``tests/core/test_gnn_vectorized.py``); both paths route their affine
+maps through the batch-invariant :func:`repro.nn.functional.linear`
+kernel, which is what makes exact float equality possible at all
+(``np.matmul`` picks different BLAS kernels for different row counts).
+Use :func:`reference_path` to force the loop path (tests, benchmark
+baselines) and :func:`gnn_stats` for forward/backward counters and
+cumulative forward seconds.
 """
 
 from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..nn import MLP, Linear, Module, Tensor, concat, stack
 from ..nn import functional as F
-from .features import EDGE_FEATURE_DIM, NODE_FEATURE_DIM
+from .features import EDGE_FEATURE_DIM, NODE_FEATURE_DIM, DirectionPlan, structure_of
+from .features import _group_edges_by_task  # noqa: F401  (re-export for callers)
 from .gpnet import GpNet
 
 __all__ = [
     "GpNetEmbedding",
+    "GnnStats",
+    "gnn_stats",
+    "reference_path",
     "TwoWayMessagePassing",
     "KStepMessagePassing",
     "TwoWayNoEdge",
@@ -46,33 +70,135 @@ __all__ = [
 ]
 
 
+@dataclass
+class GnnStats:
+    """GNN hot-path counters.
+
+    ``forwards``/``backwards`` count whole-embedding passes (one per
+    ``GpNetEmbedding`` call / backprop through it) and are deterministic
+    for a given workload; ``seconds`` is the cumulative wall-clock of
+    the forward passes and therefore run-dependent (reports strip it
+    from their canonical form — see
+    :data:`repro.experiments.base.VOLATILE_DATA_KEYS`).
+    """
+
+    forwards: int = 0
+    backwards: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "GnnStats") -> "GnnStats":
+        """Accumulate ``other`` into self (for sweep-level aggregation)."""
+        self.forwards += other.forwards
+        self.backwards += other.backwards
+        self.seconds += other.seconds
+        return self
+
+    def delta(self, since: "GnnStats") -> "GnnStats":
+        """Counters accumulated since the ``since`` snapshot."""
+        return GnnStats(
+            forwards=self.forwards - since.forwards,
+            backwards=self.backwards - since.backwards,
+            seconds=self.seconds - since.seconds,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "forwards": self.forwards,
+            "backwards": self.backwards,
+            "gnn_seconds": self.seconds,
+        }
+
+
+# Process-global accumulator: embeddings are called deep inside search
+# policies that know nothing about experiment plumbing, so observability
+# rides on module state and callers diff snapshots around the work they
+# attribute (see repro.experiments.runner._evaluate_case).
+_STATS = GnnStats()
+
+
+def gnn_stats() -> GnnStats:
+    """Snapshot of the process-global GNN counters."""
+    return GnnStats(_STATS.forwards, _STATS.backwards, _STATS.seconds)
+
+
+_REFERENCE_MODE = False
+
+
+@contextmanager
+def reference_path():
+    """Route embedding forwards through the retained per-task loop.
+
+    Used by the bit-identity property suite and as the episode
+    benchmark's baseline.  Both paths share the same parameters and the
+    same float semantics, so swapping the mode never changes what a
+    model computes — only how fast.
+    """
+    global _REFERENCE_MODE
+    previous = _REFERENCE_MODE
+    _REFERENCE_MODE = True
+    try:
+        yield
+    finally:
+        _REFERENCE_MODE = previous
+
+
 class GpNetEmbedding(Module):
-    """Interface: embed a gpNet into per-node vectors (num_nodes, out_dim)."""
+    """Interface: embed a gpNet into per-node vectors (num_nodes, out_dim).
+
+    Subclasses implement :meth:`_embed`; the shared :meth:`forward`
+    wraps it with the :func:`gnn_stats` counters (forward count + wall
+    seconds, and a pass-through graph node that counts backprops without
+    touching the gradient values).
+    """
 
     out_dim: int
 
-    def forward(self, gpnet: GpNet) -> Tensor:  # pragma: no cover - abstract
+    def forward(self, gpnet: GpNet) -> Tensor:
+        began = time.perf_counter()
+        out = self._embed(gpnet)
+        _STATS.forwards += 1
+        _STATS.seconds += time.perf_counter() - began
+        if not out.requires_grad:
+            return out
+
+        def backward(grad: np.ndarray) -> None:
+            _STATS.backwards += 1
+            out._accumulate(grad)
+
+        return Tensor._make(out.data, (out,), backward, "gnn-stats")
+
+    def _embed(self, gpnet: GpNet) -> Tensor:  # pragma: no cover - abstract
         raise NotImplementedError
 
 
-def _aggregate(values, segment_ids, num_segments, how: str):
+def _aggregate(values, segment_ids, num_segments, how: str, counts=None):
     if how == "mean":
-        return F.segment_mean(values, segment_ids, num_segments)
+        return F.segment_mean(values, segment_ids, num_segments, counts=counts)
     if how == "sum":
         return F.segment_sum(values, segment_ids, num_segments)
     raise ValueError(f"unknown aggregation {how!r}")
 
 
-def _group_edges_by_task(edge_tasks: np.ndarray, num_tasks: int) -> list[np.ndarray]:
-    """edge indices grouped by the task id in ``edge_tasks``."""
-    order = np.argsort(edge_tasks, kind="stable")
-    sorted_tasks = edge_tasks[order]
-    bounds = np.searchsorted(sorted_tasks, np.arange(num_tasks + 1))
-    return [order[bounds[t] : bounds[t + 1]] for t in range(num_tasks)]
-
-
 class _DirectionalPass(Module):
-    """One direction of Eq. 1: recurrent wavefront message passing."""
+    """One direction of Eq. 1: recurrent wavefront message passing.
+
+    ``forward`` runs the sweep as one batched gather/aggregate round per
+    topo level from the precomputed
+    :class:`~repro.core.features.DirectionPlan`; ``forward_reference``
+    is the retained per-task loop the property tests pin it against.
+    Both apply h1/h2 through :func:`repro.nn.functional.linear`, whose
+    batch-invariant kernel guarantees the two paths produce identical
+    floats for any level/task partition of the same rows.
+
+    Both paths split h1 over its concatenated input:
+    ``h1([e_v ∥ x^e]) = e_v @ W_emb + (x^e @ W_edge + b)`` with
+    ``W_emb = h1.weight[:embed_dim]`` and ``W_edge`` the rest — the
+    identical elementwise grouping on both paths, so equality survives.
+    The edge half depends only on static edge features, so the
+    vectorized sweep computes it once per pass for *all* edges and
+    gathers per level (batch invariance again makes gather-after equal
+    to compute-on-slice).
+    """
 
     def __init__(self, embed_dim: int, edge_dim: int, rng: np.random.Generator, aggregation: str) -> None:
         msg_dim = embed_dim + edge_dim
@@ -81,17 +207,50 @@ class _DirectionalPass(Module):
         self.embed_dim = embed_dim
         self.aggregation = aggregation
 
-    def forward(self, gpnet: GpNet, x: Tensor, task_order, reverse: bool) -> Tensor:
+    def forward(self, gpnet: GpNet, x: Tensor, plan: DirectionPlan, reverse: bool) -> Tensor:
         """``x``: pre-embedded node features (N, embed_dim)."""
-        n = gpnet.num_nodes
         if reverse:
-            # Messages flow child -> parent: group edges by src task,
-            # aggregate at the src node.
+            # Messages flow child -> parent: senders are dst endpoints,
+            # aggregation lands on the src endpoints.
             edge_from, edge_to = gpnet.edge_dst, gpnet.edge_src
         else:
             edge_from, edge_to = gpnet.edge_src, gpnet.edge_dst
-        groups = _group_edges_by_task(gpnet.task_of[edge_to], len(gpnet.options))
+        w_emb = self.h1.weight[: self.embed_dim]
+        w_edge = self.h1.weight[self.embed_dim :]
+        # The edge half of every message depends only on static edge
+        # features: one batched affine map for the whole pass, gathered
+        # per level below.
+        edge_msg = (
+            F.linear(Tensor(gpnet.edge_features), w_edge, self.h1.bias)
+            if gpnet.num_edges
+            else None
+        )
+        emb = Tensor(np.zeros((gpnet.num_nodes, self.embed_dim)))
+        for level in plan.levels:
+            if len(level.edge_idx) == 0:
+                agg = Tensor(np.zeros((len(level.nodes), self.h1.out_features)))
+            else:
+                idx = level.edge_idx
+                msg = (
+                    F.linear(emb.gather(edge_from[idx]), w_emb) + edge_msg.gather(idx)
+                ).relu()
+                segments = plan.node_local[edge_to[idx]]
+                agg = _aggregate(msg, segments, len(level.nodes), self.aggregation)
+            group_out = F.linear(agg, self.h2.weight, self.h2.bias).relu() + x[level.nodes]
+            emb = F.scatter_rows(emb, level.nodes, group_out, assume_unique=True)
+        return emb
 
+    def forward_reference(
+        self, gpnet: GpNet, x: Tensor, task_order, groups, reverse: bool
+    ) -> Tensor:
+        """Per-task loop implementation (bit-identical to ``forward``)."""
+        n = gpnet.num_nodes
+        if reverse:
+            edge_from, edge_to = gpnet.edge_dst, gpnet.edge_src
+        else:
+            edge_from, edge_to = gpnet.edge_src, gpnet.edge_dst
+        w_emb = self.h1.weight[: self.embed_dim]
+        w_edge = self.h1.weight[self.embed_dim :]
         node_emb: list[Tensor | None] = [None] * n
         for task in task_order:
             opts = gpnet.options[task]
@@ -103,11 +262,13 @@ class _DirectionalPass(Module):
             else:
                 senders = edge_from[idx]
                 sender_emb = stack([node_emb[int(s)] for s in senders], axis=0)
-                msg_in = concat([sender_emb, Tensor(gpnet.edge_features[idx])], axis=1)
-                msg = self.h1(msg_in).relu()
+                msg = (
+                    F.linear(sender_emb, w_emb)
+                    + F.linear(Tensor(gpnet.edge_features[idx]), w_edge, self.h1.bias)
+                ).relu()
                 local_ids = np.array([local[int(u)] for u in edge_to[idx]])
                 agg = _aggregate(msg, local_ids, len(opts), self.aggregation)
-            group_out = self.h2(agg).relu() + x_group
+            group_out = F.linear(agg, self.h2.weight, self.h2.bias).relu() + x_group
             for k, u in enumerate(opts):
                 node_emb[int(u)] = group_out[k]
         return stack([node_emb[u] for u in range(n)], axis=0)
@@ -117,7 +278,8 @@ class TwoWayMessagePassing(GpNetEmbedding):
     """The GiPH GNN: Eq. 1 in both directions, summaries concatenated.
 
     The recurrent sweep runs as many message-passing steps as the graph
-    is deep ("message passing: graph depth" in Table 5).
+    is deep ("message passing: graph depth" in Table 5) — one vectorized
+    frontier batch per level.
     """
 
     def __init__(
@@ -133,16 +295,30 @@ class TwoWayMessagePassing(GpNetEmbedding):
         self.backward_pass = _DirectionalPass(embed_dim, edge_dim, rng, aggregation)
         self.out_dim = 2 * embed_dim
 
-    def forward(self, gpnet: GpNet) -> Tensor:
+    def _embed(self, gpnet: GpNet) -> Tensor:
         x = self.pre(Tensor(gpnet.node_features))
-        graph_topo = self._task_topo_order(gpnet)
-        e_fwd = self.forward_pass(gpnet, x, graph_topo, reverse=False)
-        e_bwd = self.backward_pass(gpnet, x, list(reversed(graph_topo)), reverse=True)
+        structure = structure_of(gpnet)
+        if _REFERENCE_MODE:
+            order = structure.task_order
+            e_fwd = self.forward_pass.forward_reference(
+                gpnet, x, order, structure.edge_groups_forward, reverse=False
+            )
+            e_bwd = self.backward_pass.forward_reference(
+                gpnet, x, tuple(reversed(order)), structure.edge_groups_backward, reverse=True
+            )
+        else:
+            e_fwd = self.forward_pass(gpnet, x, structure.forward_plan, reverse=False)
+            e_bwd = self.backward_pass(gpnet, x, structure.backward_plan, reverse=True)
         return concat([e_fwd, e_bwd], axis=1)
 
     @staticmethod
     def _task_topo_order(gpnet: GpNet) -> list[int]:
-        """Topological order of tasks induced by the gpNet's edges."""
+        """Topological order of tasks induced by the gpNet's edges.
+
+        Standalone Kahn derivation, kept for callers holding a bare
+        gpNet; the embedding paths use the cached
+        :class:`~repro.core.features.GpNetStructure` instead.
+        """
         num_tasks = len(gpnet.options)
         src_tasks = gpnet.task_of[gpnet.edge_src]
         dst_tasks = gpnet.task_of[gpnet.edge_dst]
@@ -195,7 +371,8 @@ class KStepMessagePassing(GpNetEmbedding):
     """GiPH-k (Eq. 4): bounded k-step two-way message passing.
 
     Caps the sequential depth of the GNN — the paper's Table 7 / Fig. 17
-    remedy for large graphs (GiPH-3, GiPH-5).
+    remedy for large graphs (GiPH-3, GiPH-5).  Already fully batched
+    over edges per step, so it has no separate loop reference.
     """
 
     def __init__(
@@ -215,7 +392,7 @@ class KStepMessagePassing(GpNetEmbedding):
         self.backward_pass = _SharedStepPass(embed_dim, edge_dim, rng, aggregation)
         self.out_dim = 2 * embed_dim
 
-    def forward(self, gpnet: GpNet) -> Tensor:
+    def _embed(self, gpnet: GpNet) -> Tensor:
         e0 = self.pre(Tensor(gpnet.node_features))
         e_fwd = self.forward_pass(gpnet, e0, self.k, reverse=False)
         e_bwd = self.backward_pass(gpnet, e0, self.k, reverse=True)
@@ -240,20 +417,44 @@ def augment_with_out_edge_means(gpnet: GpNet) -> np.ndarray:
 
 
 class _NoEdgeDirectionalPass(Module):
-    """Wavefront pass without edge features (GiPH-NE)."""
+    """Wavefront pass without edge features (GiPH-NE).
+
+    Same two-path structure as :class:`_DirectionalPass`; messages are
+    the sender embeddings alone.
+    """
 
     def __init__(self, embed_dim: int, rng: np.random.Generator, aggregation: str) -> None:
         self.h1 = Linear(embed_dim, embed_dim, rng)
         self.h2 = Linear(embed_dim, embed_dim, rng)
+        self.embed_dim = embed_dim
         self.aggregation = aggregation
 
-    def forward(self, gpnet: GpNet, x: Tensor, task_order, reverse: bool) -> Tensor:
+    def forward(self, gpnet: GpNet, x: Tensor, plan: DirectionPlan, reverse: bool) -> Tensor:
+        if reverse:
+            edge_from, edge_to = gpnet.edge_dst, gpnet.edge_src
+        else:
+            edge_from, edge_to = gpnet.edge_src, gpnet.edge_dst
+        emb = Tensor(np.zeros((gpnet.num_nodes, self.embed_dim)))
+        for level in plan.levels:
+            if len(level.edge_idx) == 0:
+                agg = Tensor(np.zeros((len(level.nodes), self.h1.out_features)))
+            else:
+                idx = level.edge_idx
+                msg = F.linear(emb.gather(edge_from[idx]), self.h1.weight, self.h1.bias).relu()
+                segments = plan.node_local[edge_to[idx]]
+                agg = _aggregate(msg, segments, len(level.nodes), self.aggregation)
+            group_out = F.linear(agg, self.h2.weight, self.h2.bias).relu() + x[level.nodes]
+            emb = F.scatter_rows(emb, level.nodes, group_out, assume_unique=True)
+        return emb
+
+    def forward_reference(
+        self, gpnet: GpNet, x: Tensor, task_order, groups, reverse: bool
+    ) -> Tensor:
         n = gpnet.num_nodes
         if reverse:
             edge_from, edge_to = gpnet.edge_dst, gpnet.edge_src
         else:
             edge_from, edge_to = gpnet.edge_src, gpnet.edge_dst
-        groups = _group_edges_by_task(gpnet.task_of[edge_to], len(gpnet.options))
         node_emb: list[Tensor | None] = [None] * n
         for task in task_order:
             opts = gpnet.options[task]
@@ -263,10 +464,10 @@ class _NoEdgeDirectionalPass(Module):
                 agg = Tensor(np.zeros((len(opts), self.h1.out_features)))
             else:
                 sender_emb = stack([node_emb[int(s)] for s in edge_from[idx]], axis=0)
-                msg = self.h1(sender_emb).relu()
+                msg = F.linear(sender_emb, self.h1.weight, self.h1.bias).relu()
                 local_ids = np.array([local[int(u)] for u in edge_to[idx]])
                 agg = _aggregate(msg, local_ids, len(opts), self.aggregation)
-            group_out = self.h2(agg).relu() + x[opts]
+            group_out = F.linear(agg, self.h2.weight, self.h2.bias).relu() + x[opts]
             for k, u in enumerate(opts):
                 node_emb[int(u)] = group_out[k]
         return stack([node_emb[u] for u in range(n)], axis=0)
@@ -292,11 +493,20 @@ class TwoWayNoEdge(GpNetEmbedding):
         self.backward_pass = _NoEdgeDirectionalPass(embed_dim, rng, aggregation)
         self.out_dim = 2 * embed_dim
 
-    def forward(self, gpnet: GpNet) -> Tensor:
+    def _embed(self, gpnet: GpNet) -> Tensor:
         x = self.proj(Tensor(augment_with_out_edge_means(gpnet)))
-        topo = TwoWayMessagePassing._task_topo_order(gpnet)
-        e_fwd = self.forward_pass(gpnet, x, topo, reverse=False)
-        e_bwd = self.backward_pass(gpnet, x, list(reversed(topo)), reverse=True)
+        structure = structure_of(gpnet)
+        if _REFERENCE_MODE:
+            order = structure.task_order
+            e_fwd = self.forward_pass.forward_reference(
+                gpnet, x, order, structure.edge_groups_forward, reverse=False
+            )
+            e_bwd = self.backward_pass.forward_reference(
+                gpnet, x, tuple(reversed(order)), structure.edge_groups_backward, reverse=True
+            )
+        else:
+            e_fwd = self.forward_pass(gpnet, x, structure.forward_plan, reverse=False)
+            e_bwd = self.backward_pass(gpnet, x, structure.backward_plan, reverse=True)
         return concat([e_fwd, e_bwd], axis=1)
 
 
@@ -305,7 +515,8 @@ class GraphSageNoEdge(GpNetEmbedding):
 
     h^{l+1}_u = ReLU(W_l [h^l_u ∥ mean_{v∈parents(u)} h^l_v]); forward
     direction only — the divergence observed in Fig. 14 traces back to
-    this missing backward view.
+    this missing backward view.  Each layer already aggregates over all
+    edges in one segment op, so it has no separate loop reference.
     """
 
     def __init__(
@@ -325,7 +536,7 @@ class GraphSageNoEdge(GpNetEmbedding):
         self.aggregation = aggregation
         self.out_dim = out_dim
 
-    def forward(self, gpnet: GpNet) -> Tensor:
+    def _embed(self, gpnet: GpNet) -> Tensor:
         h = self.pre(Tensor(augment_with_out_edge_means(gpnet))).relu()
         n = gpnet.num_nodes
         for layer in self.sage_layers:
@@ -343,7 +554,7 @@ class RawFeatureEmbedding(GpNetEmbedding):
     def __init__(self, node_dim: int = NODE_FEATURE_DIM + EDGE_FEATURE_DIM) -> None:
         self.out_dim = node_dim
 
-    def forward(self, gpnet: GpNet) -> Tensor:
+    def _embed(self, gpnet: GpNet) -> Tensor:
         return Tensor(augment_with_out_edge_means(gpnet))
 
 

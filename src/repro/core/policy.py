@@ -28,7 +28,15 @@ class ScorePolicy(Module):
         self.score = MLP([embed_dim, hidden_dim, 1], rng)
 
     def log_probs(self, embeddings: Tensor, mask: np.ndarray) -> Tensor:
-        """Log action probabilities over gpNet nodes (masked entries ≈ -inf)."""
+        """Log action probabilities over gpNet nodes (masked entries ≈ -inf).
+
+        The whole candidate set is scored in one batched pass: the MLP
+        maps the (num_nodes, embed_dim) embedding matrix through two
+        matmuls, so per-step policy cost is a couple of BLAS calls
+        rather than a per-action Python loop — the scoring half of the
+        vectorized episode hot path (the embedding half lives in
+        :mod:`repro.core.gnn`).
+        """
         scores = self.score(embeddings).reshape(-1)
         return F.masked_log_softmax(scores, mask)
 

@@ -15,7 +15,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..nn import Adam, Tensor
+from ..nn import Adam, Tensor, stack
 from ..runtime.evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluator
 from ..sim.objectives import Objective
 from .agent import GiPHAgent
@@ -105,12 +105,25 @@ def collect_episode(
 def episode_loss(
     log_probs: Sequence[Tensor], rewards: Sequence[float], config: "ReinforceConfig"
 ) -> Tensor:
-    """-Σ_t γ^t log π(a_t|s_t) · advantage_t for one episode."""
+    """-Σ_t γ^t log π(a_t|s_t) · advantage_t for one episode.
+
+    The per-step advantages are assembled as one NumPy vector and
+    applied to the stacked log-prob tensor in a single fused
+    multiply-sum, so the backward pass scatters every step's scalar
+    gradient in one array op instead of walking a Python chain of
+    per-step Tensor sums.  Each log-prob still receives exactly
+    ``-advantage_t`` — bit-identical to the gradient the per-step sum
+    delivered, so training results are unchanged.
+    """
+    if len(log_probs) != len(rewards):
+        raise ValueError("log_probs and rewards must have equal lengths")
+    if not log_probs:
+        return Tensor(np.zeros(()))
     returns = discounted_returns(rewards, config.gamma)
     baseline = average_reward_baseline(rewards)
     discount = config.gamma ** np.arange(len(rewards))
     advantages = discount * (returns - baseline)
-    return sum(lp * float(-adv) for lp, adv in zip(log_probs, advantages))
+    return (stack(list(log_probs), axis=0) * Tensor(-advantages)).sum()
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,11 @@ __all__ = ["ExperimentReport", "VOLATILE_DATA_KEYS"]
 # a pure function of (experiment, seed, scale, code version); stripping
 # these keys is what makes the canonical JSON of two equivalent runs
 # (serial vs fanned, fork vs shard-merged) byte-identical.
-VOLATILE_DATA_KEYS = frozenset({"search_seconds", "replace_seconds", "trace_cache"})
+# ("gnn_seconds" is the wall-clock member of the otherwise-deterministic
+# GNN counter blocks — see repro.core.gnn.GnnStats.as_dict.)
+VOLATILE_DATA_KEYS = frozenset(
+    {"search_seconds", "replace_seconds", "trace_cache", "gnn_seconds"}
+)
 
 
 def _strip_volatile(node: Any) -> Any:

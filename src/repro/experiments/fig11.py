@@ -136,9 +136,16 @@ def _relocation_cell(scenario_index: int) -> dict[float, float]:
     return out
 
 
-def _relocation_sweep(scale: Scale, seed: int, backend: ExecutionBackend):
-    """Left panel: incurred relocation cost vs pipeline frequency."""
-    train, test, scenarios, source = case_study_problems(scale, (seed, 0))
+def _relocation_sweep(
+    scale: Scale, seed: int, backend: ExecutionBackend, workers: int = 1
+):
+    """Left panel: incurred relocation cost vs pipeline frequency.
+
+    ``workers`` parallelizes a cold trace extraction; it is passed as an
+    integer (not ``backend``) because windowed extraction only accepts
+    direct-execution backends — a shard backend still extracts locally.
+    """
+    train, test, scenarios, source = case_study_problems(scale, (seed, 0), workers=workers)
     # Training is inline glue (its stream is not a fan-out cell), so the
     # backend memoizes it: a merge pass loads what the shard runs built.
     agent = backend.compute(
@@ -185,9 +192,11 @@ def _energy_cell(case_index: int) -> tuple[float, float, float]:
     )
 
 
-def _energy_comparison(scale: Scale, seed: int, backend: ExecutionBackend):
+def _energy_comparison(
+    scale: Scale, seed: int, backend: ExecutionBackend, workers: int = 1
+):
     """Right panel: total energy of GiPH vs HEFT vs random placements."""
-    train, test, _, source = case_study_problems(scale, (seed, 3))
+    train, test, _, source = case_study_problems(scale, (seed, 3), workers=workers)
     agent = backend.compute(
         "stage",
         stage_key("fig11", "energy-train", seed, scale),
@@ -214,8 +223,8 @@ def run(
     backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
     backend = resolve_backend(backend, workers)
-    reloc_rows, incurred, reloc_source = _relocation_sweep(scale, seed, backend)
-    energy, energy_source = _energy_comparison(scale, seed, backend)
+    reloc_rows, incurred, reloc_source = _relocation_sweep(scale, seed, backend, workers=workers)
+    energy, energy_source = _energy_comparison(scale, seed, backend, workers=workers)
 
     text = "\n".join(
         [

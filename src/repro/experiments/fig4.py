@@ -28,7 +28,7 @@ from ..parallel.backends import ExecutionBackend
 from .base import ExperimentReport
 from .config import Scale
 from .datasets import Dataset, multi_network_dataset, single_network_dataset
-from .reporting import banner, format_evaluator_stats, format_series
+from .reporting import banner, format_evaluator_stats, format_gnn_stats, format_series
 from .runner import TrainSpec, evaluate_policies, train_policy_grid
 
 __all__ = ["run", "eval_stream"]
@@ -133,6 +133,7 @@ def run(
             # wall-clock timing lives in `data` (the benchmark prints it)
             # so same-seed result artifacts stay diffable.
             sections.append(format_evaluator_stats(result.evaluator_stats))
+            sections.append(format_gnn_stats(result.gnn_stats))
             data[panel] = {
                 "noise": noise,
                 # Provenance: the derived case-seed stream this panel
@@ -144,6 +145,10 @@ def run(
                 "evaluator": {
                     k: s.as_dict() for k, s in result.evaluator_stats.items()
                 },
+                # forwards/backwards are deterministic; the embedded
+                # "gnn_seconds" is volatile and stripped from the
+                # report's canonical form (see VOLATILE_DATA_KEYS).
+                "gnn": {k: s.as_dict() for k, s in result.gnn_stats.items()},
                 "search_seconds": dict(result.search_seconds),
             }
 

@@ -44,11 +44,13 @@ def trace_cache_counter(sources: Sequence[str]) -> dict:
     return {"hits": hits, "misses": len(sources) - hits, "sources": list(sources)}
 
 
-def case_study_problems(scale: Scale, stream: Sequence[int]):
+def case_study_problems(scale: Scale, stream: Sequence[int], workers: int = 1):
     """(train, test, scenarios, cache source) from the traffic trace.
 
     ``stream`` is the extraction's full seed-derivation key (fed to
     ``default_rng(list(stream))``), which doubles as its memo identity.
+    ``workers`` fans a cold extraction over snapshot windows (identical
+    scenarios either way, so the cache key is unaffected).
     """
     config = TraceConfig(
         traffic=TrafficConfig(
@@ -58,7 +60,7 @@ def case_study_problems(scale: Scale, stream: Sequence[int]):
         ),
         max_cases=scale.case_train + scale.case_test,
     )
-    scenarios, source = extract_trace_cached(config, stream)
+    scenarios, source = extract_trace_cached(config, stream, workers=workers)
     if len(scenarios) < 2:
         raise RuntimeError(
             f"trace produced only {len(scenarios)} placement cases; "
@@ -76,7 +78,7 @@ def run(
     workers: int = 1,
     backend: ExecutionBackend | None = None,
 ) -> ExperimentReport:
-    train, test, _, trace_source = case_study_problems(scale, (seed, 0))
+    train, test, _, trace_source = case_study_problems(scale, (seed, 0), workers=workers)
 
     trained = train_policy_grid(
         [train],
@@ -135,6 +137,7 @@ def run(
             "finals": {k: list(v) for k, v in result.finals.items()},
             "num_train": len(train),
             "num_test": len(test),
+            "gnn": {k: s.as_dict() for k, s in result.gnn_stats.items()},
             "trace_cache": trace_cache_counter([trace_source]),
         },
     )

@@ -20,6 +20,7 @@ from ..baselines.heft import heft_placement
 from ..baselines.placeto import PlacetoAgent, PlacetoTrainer
 from ..baselines.task_eft import TaskEftAgent, TaskEftTrainer
 from ..core.agent import GiPHAgent
+from ..core.gnn import GnnStats, gnn_stats
 from ..core.placement import PlacementProblem, random_placement
 from ..core.reinforce import ReinforceConfig, ReinforceTrainer
 from ..core.search import SearchTrace
@@ -216,6 +217,9 @@ class EvalResult:
     ``evaluator_stats[name]`` / ``search_seconds[name]`` — scoring-path
     counters and wall time aggregated over the sweep's cases (see
     :func:`repro.experiments.reporting.format_evaluator_stats`).
+    ``gnn_stats[name]`` — GNN forward/backward counters (deterministic)
+    plus cumulative forward seconds (wall-clock, volatile) attributed to
+    each policy's searches.
     """
 
     curves: dict[str, np.ndarray]
@@ -223,6 +227,7 @@ class EvalResult:
     traces: dict[str, list[SearchTrace]]
     evaluator_stats: dict[str, EvaluatorStats] = field(default_factory=dict)
     search_seconds: dict[str, float] = field(default_factory=dict)
+    gnn_stats: dict[str, GnnStats] = field(default_factory=dict)
 
     def mean_final(self, name: str) -> float:
         return float(np.mean(self.finals[name]))
@@ -278,6 +283,7 @@ def _evaluate_case(case_index: int) -> dict[str, tuple]:
         else:
             case_objective = MakespanObjective()
         evaluator = PlacementEvaluator(problem, case_objective)
+        gnn_before = gnn_stats()
         began = time.perf_counter()
         trace = policy.search(
             problem,
@@ -294,6 +300,10 @@ def _evaluate_case(case_index: int) -> dict[str, tuple]:
             trace,
             evaluator.stats,
             elapsed,
+            # Delta of the process-global GNN counters over this search:
+            # the search runs single-threaded inside this task, so the
+            # delta is exactly the policy's own embedding work.
+            gnn_stats().delta(gnn_before),
         )
     return out
 
@@ -338,6 +348,7 @@ def evaluate_policies(
     traces: dict[str, list[SearchTrace]] = {name: [] for name in policies}
     stats: dict[str, EvaluatorStats] = {name: EvaluatorStats() for name in policies}
     seconds: dict[str, float] = {name: 0.0 for name in policies}
+    gnn: dict[str, GnnStats] = {name: GnnStats() for name in policies}
 
     context = _EvalContext(
         policies=dict(policies),
@@ -353,12 +364,13 @@ def evaluate_policies(
     )
 
     for case_out in case_results:
-        for name, (curve, final, trace, case_stats, elapsed) in case_out.items():
+        for name, (curve, final, trace, case_stats, elapsed, case_gnn) in case_out.items():
             curves[name].append(curve)
             finals[name].append(final)
             traces[name].append(trace)
             stats[name].merge(case_stats)
             seconds[name] += elapsed
+            gnn[name].merge(case_gnn)
 
     return EvalResult(
         curves={name: average_curves(cs) for name, cs in curves.items()},
@@ -366,4 +378,5 @@ def evaluate_policies(
         traces=traces,
         evaluator_stats=stats,
         search_seconds=seconds,
+        gnn_stats=gnn,
     )

@@ -17,9 +17,13 @@ __all__ = [
     "softmax",
     "log_softmax",
     "masked_log_softmax",
+    "linear",
     "segment_sum",
     "segment_mean",
+    "segment_max",
     "gather_rows",
+    "scatter_rows",
+    "index_add",
 ]
 
 
@@ -67,6 +71,45 @@ def masked_log_softmax(scores: Tensor, mask: np.ndarray) -> Tensor:
     return log_softmax(scores + neg, axis=-1)
 
 
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight (+ bias)`` with a batch-invariant kernel.
+
+    ``np.matmul`` dispatches to different BLAS kernels depending on the
+    row count, so ``(A @ W)[i]`` and ``A[i] @ W`` can differ in the last
+    ulps.  This kernel instead uses ``np.einsum``, whose reduction over
+    the input dimension runs in a fixed sequential order per output
+    element, making each output row a function of its own input row
+    alone — invariant to how rows are batched or partitioned across
+    calls (pinned by ``tests/nn/test_segment_ops.py``).  The vectorized
+    GNN sweep in :mod:`repro.core.gnn` relies on this to stay
+    bit-identical to its per-task loop reference.  Use
+    :class:`repro.nn.Linear` where partition invariance is not needed.
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    if x.ndim not in (1, 2):
+        raise ValueError(f"linear expects a 1-D or 2-D input, got ndim={x.ndim}")
+    xd, wd = x.data, weight.data
+    if wd.ndim != 2 or xd.shape[-1] != wd.shape[0]:
+        raise ValueError(f"linear shape mismatch: x {xd.shape} vs weight {wd.shape}")
+    out_data = np.einsum("...k,kj->...j", xd, wd)
+    bias_t = as_tensor(bias) if bias is not None else None
+    parents: tuple[Tensor, ...] = (x, weight)
+    if bias_t is not None:
+        out_data = out_data + bias_t.data
+        parents = (x, weight, bias_t)
+
+    def backward(grad: np.ndarray) -> None:
+        if x.requires_grad:
+            x._accumulate(grad @ wd.T)
+        if weight.requires_grad:
+            weight._accumulate(np.outer(xd, grad) if xd.ndim == 1 else xd.T @ grad)
+        if bias_t is not None and bias_t.requires_grad:
+            bias_t._accumulate(grad if grad.ndim == 1 else grad.sum(axis=0))
+
+    return Tensor._make(out_data, parents, backward, "linear")
+
+
 def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
     """Sum rows of ``values`` into ``num_segments`` buckets.
 
@@ -88,19 +131,114 @@ def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> T
     return Tensor._make(out_data, (values,), backward, "segment_sum")
 
 
-def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_mean(
+    values: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    counts: np.ndarray | None = None,
+) -> Tensor:
     """Mean-aggregate rows of ``values`` per segment (empty segments -> 0).
 
     The paper's experiments aggregate messages by mean (§5, experiment
-    details), while Eq. 1 writes a sum; both are exposed.
+    details), while Eq. 1 writes a sum; both are exposed.  ``counts``
+    optionally supplies the precomputed (empty-clamped-to-1) segment
+    sizes — callers with static segment layouts (the GNN level plans)
+    pass it to skip the per-call ``bincount``; it must equal
+    ``maximum(bincount(segment_ids, minlength=num_segments), 1)``.
     """
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
-    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
-    counts = np.maximum(counts, 1.0)  # avoid div-by-zero for empty segments
+    if counts is None:
+        counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+        counts = np.maximum(counts, 1.0)  # avoid div-by-zero for empty segments
     summed = segment_sum(values, segment_ids, num_segments)
     return summed / Tensor(counts.reshape((-1,) + (1,) * (summed.ndim - 1)))
+
+
+def segment_max(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Max-aggregate rows of ``values`` per segment (empty segments -> 0).
+
+    Ties split the incoming gradient evenly among the maximizers — the
+    same subgradient convention as :meth:`repro.nn.Tensor.max`.
+    """
+    values = as_tensor(values)
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1 or len(segment_ids) != values.shape[0]:
+        raise ValueError("segment_ids must be 1-D and match values' first axis")
+    out_shape = (num_segments,) + values.shape[1:]
+    out_data = np.full(out_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out_data, segment_ids, values.data)
+    empty = np.bincount(segment_ids, minlength=num_segments) == 0
+    if empty.any():
+        out_data[empty] = 0.0
+
+    def backward(grad: np.ndarray) -> None:
+        if not values.requires_grad:
+            return
+        winners = (values.data == out_data[segment_ids]).astype(np.float64)
+        counts = np.zeros(out_shape, dtype=np.float64)
+        np.add.at(counts, segment_ids, winners)
+        np.maximum(counts, 1.0, out=counts)
+        values._accumulate(winners * (grad / counts)[segment_ids])
+
+    return Tensor._make(out_data, (values,), backward, "segment_max")
 
 
 def gather_rows(values: Tensor, indices: np.ndarray) -> Tensor:
     """Select rows ``indices`` from ``values`` (differentiable gather)."""
     return as_tensor(values)[np.asarray(indices, dtype=np.int64)]
+
+
+def scatter_rows(
+    base: Tensor, indices: np.ndarray, rows: Tensor, assume_unique: bool = False
+) -> Tensor:
+    """Out-of-place row scatter: ``out = base; out[indices] = rows``.
+
+    ``indices`` must be unique — with duplicates the forward would be
+    write-order dependent and the gradient ill-defined.  The vectorized
+    GNN finalizes one frontier level of node embeddings per call with
+    this, instead of mutating a running Python list of row tensors.
+    ``assume_unique`` skips the uniqueness check for callers whose
+    indices come from a static, already-validated plan.
+    """
+    base = as_tensor(base)
+    rows = as_tensor(rows)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1 or len(indices) != rows.shape[0]:
+        raise ValueError("indices must be 1-D and match rows' first axis")
+    if not assume_unique and len(np.unique(indices)) != len(indices):
+        raise ValueError("scatter_rows indices must be unique")
+    out_data = base.data.copy()
+    out_data[indices] = rows.data
+
+    def backward(grad: np.ndarray) -> None:
+        if rows.requires_grad:
+            rows._accumulate(grad[indices])
+        if base.requires_grad:
+            masked = grad.copy()
+            masked[indices] = 0.0
+            base._accumulate(masked)
+
+    return Tensor._make(out_data, (base, rows), backward, "scatter_rows")
+
+
+def index_add(base: Tensor, indices: np.ndarray, values: Tensor) -> Tensor:
+    """Out-of-place scatter-add: ``out = base; out[indices] += values``.
+
+    Duplicate indices accumulate (``np.add.at`` semantics) — the
+    ``index_add_``-style scatter of the segment-op family.
+    """
+    base = as_tensor(base)
+    values = as_tensor(values)
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1 or len(indices) != values.shape[0]:
+        raise ValueError("indices must be 1-D and match values' first axis")
+    out_data = base.data.copy()
+    np.add.at(out_data, indices, values.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if base.requires_grad:
+            base._accumulate(grad)
+        if values.requires_grad:
+            values._accumulate(grad[indices])
+
+    return Tensor._make(out_data, (base, values), backward, "index_add")

@@ -121,11 +121,23 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
         op: str,
     ) -> "Tensor":
-        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        needs = False
+        if _GRAD_ENABLED:
+            for p in parents:
+                if p.requires_grad:
+                    needs = True
+                    break
         return Tensor(data, requires_grad=needs, _parents=parents, _backward=backward, _op=op)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
+            grad = np.asarray(grad, dtype=np.float64)
+            if grad.shape == self.data.shape:
+                # First touch: copy instead of zeros + add (saves a full
+                # memory pass per graph node; 0 + g == g bitwise for
+                # every finite g).
+                self.grad = grad.copy()
+                return
             self.grad = np.zeros_like(self.data)
         self.grad += grad
 
@@ -317,11 +329,25 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, idx, grad)
-                self._accumulate(full)
+                # Scatter straight into the grad buffer — no dense
+                # temporary per gather (the GNN backward runs thousands
+                # of these).
+                if self.grad is None:
+                    self.grad = np.zeros_like(self.data)
+                np.add.at(self.grad, idx, grad)
 
         return Tensor._make(out_data, (self,), backward, "getitem")
+
+    def gather(self, indices) -> "Tensor":
+        """Select rows by an integer index array (differentiable gather).
+
+        Duplicate indices are fine: their gradients accumulate into the
+        shared source row (``np.add.at`` in the backward).  This is the
+        gather half of the segment-op family in
+        :mod:`repro.nn.functional`; it lives on the tensor because the
+        GNN hot path gathers from intermediate results, not leaves.
+        """
+        return self[np.asarray(indices, dtype=np.int64)]
 
     # -- linear algebra ---------------------------------------------------------
 

@@ -320,10 +320,9 @@ class TestFig4Parallel:
 
     @staticmethod
     def deterministic_data(report):
-        return {
-            panel: {k: v for k, v in payload.items() if k != "search_seconds"}
-            for panel, payload in report.data.items()
-        }
+        # Strips wall-clock members (search_seconds, nested gnn_seconds)
+        # the same way the shard-merge equality does.
+        return report.stable_data()
 
     def test_worker_count_independence(self, micro_experiment_scale, serial):
         fanned = fig4.run(micro_experiment_scale, seed=3, workers=4)
