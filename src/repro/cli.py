@@ -12,8 +12,13 @@ Subcommands (Artifact Appendix A.5-A.6):
                     on a selectable execution backend;
 * ``shard``       — plan/run/merge an experiment split across processes
                     or machines (file-based transport, see repro.shard);
+* ``trace``       — render the telemetry span tree of a run's JSONL
+                    event log(s) (see repro.telemetry);
 * ``bench``       — fold the per-PR benchmark JSON files into one
                     trajectory table and gate perf regressions.
+
+Status/progress lines go to stderr through the ``REPRO_LOG`` leveled
+logger (debug|info|quiet); stdout carries only primary results.
 
 Usage:  python -m repro train --episodes 50 --logdir runs
 """
@@ -27,6 +32,8 @@ import sys
 import time
 
 import numpy as np
+
+from .telemetry import log
 
 __all__ = ["main", "build_parser"]
 
@@ -102,8 +109,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="plan directory for --backend shard "
                           "(default: runs/shards/<id>-seed<seed>-<scale>)")
     exp.add_argument("--json", default=None, metavar="PATH",
-                     help="also write the report's canonical JSON (volatile "
-                          "wall-clock/cache fields stripped) to PATH")
+                     help="also write the report JSON to PATH: the canonical "
+                          "(byte-stable) report plus a 'runtime' key holding "
+                          "volatile timings, metrics registry counters, and "
+                          "store/trace-cache hit rates")
 
     shard = sub.add_parser(
         "shard", help="split an experiment across processes/machines (repro.shard)"
@@ -136,6 +145,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="manifest file(s) or the plan directory")
     merge.add_argument("--json", default=None, metavar="PATH",
                        help="also write the report's canonical JSON to PATH")
+
+    trace = sub.add_parser(
+        "trace", help="render a run's telemetry span tree (see repro.telemetry)"
+    )
+    trace.add_argument("target", nargs="?", default="runs/trace",
+                       help="a telemetry JSONL log, a run/store directory "
+                            "(shard logs under telemetry/ are merged), or a "
+                            "directory of logs — newest taken (default: runs/trace)")
+    trace.add_argument("--top", type=int, default=None, metavar="N",
+                       help="also print the N hottest spans by self time")
+    trace.add_argument("--export", default=None, choices=["chrome"],
+                       help="additionally write a Chrome trace-event JSON "
+                            "(load in chrome://tracing or Perfetto)")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="output path for --export (default: next to the target)")
 
     bench = sub.add_parser(
         "bench", help="inspect the recorded per-PR benchmark trajectory"
@@ -227,13 +251,13 @@ def cmd_train(args: argparse.Namespace) -> int:
     from .parallel import resolve_workers
 
     workers = resolve_workers(args.workers)
-    print(f"training {args.embedding} for {args.episodes} episodes "
-          f"({args.train_graphs} graphs of {args.num_tasks} tasks on "
-          f"{args.num_devices} devices"
-          + (f"; batches of {args.batch_episodes} on {workers} workers"
-             if args.batch_episodes > 1 else "") + ")")
-    trainer.train(problems, rng, callback=lambda s: print(
-        f"  episode {s.episode:4d}: reward {s.total_reward:+9.3f} "
+    log.info(f"training {args.embedding} for {args.episodes} episodes "
+             f"({args.train_graphs} graphs of {args.num_tasks} tasks on "
+             f"{args.num_devices} devices"
+             + (f"; batches of {args.batch_episodes} on {workers} workers"
+                if args.batch_episodes > 1 else "") + ")")
+    trainer.train(problems, rng, callback=lambda s: log.info(
+        f"episode {s.episode:4d}: reward {s.total_reward:+9.3f} "
         f"best {s.best_value:9.3f}"
     ) if s.episode % max(args.episodes // 10, 1) == 0 else None,
         batch_size=args.batch_episodes, workers=workers)
@@ -251,7 +275,8 @@ def cmd_train(args: argparse.Namespace) -> int:
     ]
     (run_dir / "train_data.json").write_text(json.dumps(history, indent=1))
     (run_dir / "args.json").write_text(json.dumps(vars(args), indent=1))
-    print(f"saved run to {run_dir}")
+    log.info(f"saved run to {run_dir}")
+    print(run_dir)
     return 0
 
 
@@ -296,7 +321,7 @@ def cmd_test(args: argparse.Namespace) -> int:
     test_dir = run_dir / f"test_{time.strftime('%Y-%m-%d_%H-%M-%S')}"
     test_dir.mkdir(exist_ok=True)
     (test_dir / "eval_data.json").write_text(json.dumps(arr.tolist(), indent=1))
-    print(f"saved evaluation to {test_dir}")
+    log.info(f"saved evaluation to {test_dir}")
     return 0
 
 
@@ -488,21 +513,66 @@ def _shard_dir(experiment: str, seed: int, scale) -> pathlib.Path:
     return pathlib.Path("runs") / "shards" / f"{experiment}-seed{seed}-{scale.name}"
 
 
+def _write_report_json(path: pathlib.Path, report, trace_path=None) -> None:
+    """The ``--json`` payload: canonical report + a ``runtime`` section.
+
+    ``report.to_json()`` stays byte-stable across runs/backends (the
+    shard-merge equality); everything run-dependent — volatile report
+    fields, the metrics registry (store/trace-cache hit counters,
+    evaluator totals, gnn counters), the telemetry log path — rides in
+    the separate ``runtime`` key.  Consumers comparing payloads across
+    runs should drop that key first.
+    """
+    from .telemetry import metrics
+
+    payload = json.loads(report.to_json())
+    snapshot = metrics().snapshot()
+    runtime = {
+        "volatile_data": report.volatile_data(),
+        "metrics": snapshot.as_dict(),
+        "store": {
+            name.split(".", 1)[1]: value
+            for name, value in snapshot.counters.items()
+            if name.startswith("store.")
+        },
+    }
+    if trace_path is not None:
+        runtime["telemetry_log"] = str(trace_path)
+    payload["runtime"] = runtime
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    log.info(f"wrote report JSON to {path}")
+
+
+def _write_trace_log(capture, experiment: str, seed: int, scale) -> pathlib.Path | None:
+    """Persist a CLI run's telemetry under ``runs/trace`` (None if disabled)."""
+    from .telemetry import write_run_log
+
+    if capture.delta is None:
+        return None
+    stamp = time.strftime("%Y-%m-%d_%H-%M-%S")
+    path = (pathlib.Path("runs") / "trace"
+            / f"{experiment}-seed{seed}-{scale.name}-{stamp}.jsonl")
+    write_run_log(path, capture)
+    log.info(f"wrote telemetry log to {path} (inspect with: repro trace {path})")
+    return path
+
+
 def _run_sharded_locally(args: argparse.Namespace, scale) -> int:
     """``--backend shard``: plan, run every shard, merge — one process."""
     from .shard import merge_shards, plan, run_shard
 
     out = pathlib.Path(args.out) if args.out else _shard_dir(args.id, args.seed, scale)
     manifests = plan(args.id, args.shards, args.seed, scale, out)
-    print(f"planned {len(manifests)} shard(s) under {out}")
+    log.info(f"planned {len(manifests)} shard(s) under {out}")
     for path in manifests:
         run_shard(path, workers=args.workers)
-        print(f"  ran {path.name}")
+        log.info(f"ran {path.name}")
     report = merge_shards([out])
     print(report.text)
+    log.info(f"shard telemetry logs under {out}/store/telemetry "
+             f"(inspect with: repro trace {out}/store)")
     if args.json:
-        pathlib.Path(args.json).write_text(report.to_json())
-        print(f"wrote canonical report JSON to {args.json}")
+        _write_report_json(pathlib.Path(args.json), report)
     return 0
 
 
@@ -549,11 +619,55 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             )
     elif args.workers not in (None, 1):
         print(f"note: experiment {args.id!r} runs serially by design; --workers ignored")
-    report = module.run(scale, seed=args.seed, **kwargs)
+    from .telemetry import capture_run, span
+
+    meta = {"experiment": args.id, "seed": args.seed, "scale": scale.name}
+    with capture_run(meta) as capture:
+        with span(f"experiment.{args.id}"):
+            report = module.run(scale, seed=args.seed, **kwargs)
+    trace_path = _write_trace_log(capture, args.id, args.seed, scale)
     print(report.text)
     if args.json:
-        pathlib.Path(args.json).write_text(report.to_json())
-        print(f"wrote canonical report JSON to {args.json}")
+        _write_report_json(pathlib.Path(args.json), report, trace_path)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: merged span tree + hotspots + Chrome export."""
+    from .telemetry import (
+        collect_run_files,
+        export_chrome,
+        read_records,
+        render_top,
+        render_tree,
+    )
+
+    target = pathlib.Path(args.target)
+    try:
+        files = collect_run_files(target)
+    except FileNotFoundError as error:
+        print(f"error: {error}")
+        return 2
+    records = read_records(files)
+    if not any(r.get("kind") in ("run", "span") for r in records):
+        print(f"error: no telemetry records in {', '.join(str(f) for f in files)} "
+              "(was the run executed with REPRO_TELEMETRY=off?)")
+        return 2
+    log.info("merging " + ", ".join(str(f) for f in files))
+    print(render_tree(records))
+    if args.top:
+        print()
+        print(render_top(records, args.top))
+    if args.export == "chrome":
+        if args.out:
+            out = pathlib.Path(args.out)
+        elif target.is_file():
+            out = target.with_suffix(".chrome.json")
+        else:
+            out = target / "trace.chrome.json"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(export_chrome(records)) + "\n")
+        print(f"wrote Chrome trace to {out}")
     return 0
 
 
@@ -612,6 +726,8 @@ def _cmd_shard_run(args: argparse.Namespace) -> int:
     print(f"shard {manifest.shard_index + 1}/{manifest.num_shards} of "
           f"{manifest.experiment} (seed {manifest.seed}, scale {manifest.scale.name}) "
           f"complete; results published to {store}")
+    log.info(f"telemetry + progress logs under {store}/telemetry "
+             f"(inspect with: repro trace {store})")
     return 0
 
 
@@ -621,8 +737,7 @@ def _cmd_shard_merge(args: argparse.Namespace) -> int:
     report = merge_shards(args.manifests)
     print(report.text)
     if args.json:
-        pathlib.Path(args.json).write_text(report.to_json())
-        print(f"wrote canonical report JSON to {args.json}")
+        _write_report_json(pathlib.Path(args.json), report)
     return 0
 
 
@@ -635,6 +750,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "scenario": cmd_scenario,
         "shard": cmd_shard,
+        "trace": cmd_trace,
         "bench": cmd_bench,
     }
     return handlers[args.command](args)

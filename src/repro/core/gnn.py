@@ -51,6 +51,7 @@ import numpy as np
 
 from ..nn import MLP, Linear, Module, Tensor, concat, stack
 from ..nn import functional as F
+from ..telemetry import metrics, span
 from .features import EDGE_FEATURE_DIM, NODE_FEATURE_DIM, DirectionPlan, structure_of
 from .features import _group_edges_by_task  # noqa: F401  (re-export for callers)
 from .gpnet import GpNet
@@ -109,16 +110,21 @@ class GnnStats:
         }
 
 
-# Process-global accumulator: embeddings are called deep inside search
+# Process-global accumulators: embeddings are called deep inside search
 # policies that know nothing about experiment plumbing, so observability
-# rides on module state and callers diff snapshots around the work they
-# attribute (see repro.experiments.runner._evaluate_case).
-_STATS = GnnStats()
+# rides on process state and callers diff snapshots around the work they
+# attribute (see repro.experiments.runner._evaluate_case).  The storage
+# *is* the telemetry registry — `gnn_stats()` is a compatibility view
+# over the `gnn.*` counters, which also ship home automatically from
+# fork workers with every task delta.
+_FORWARDS = metrics().counter("gnn.forwards")
+_BACKWARDS = metrics().counter("gnn.backwards")
+_SECONDS = metrics().counter("gnn.seconds")
 
 
 def gnn_stats() -> GnnStats:
     """Snapshot of the process-global GNN counters."""
-    return GnnStats(_STATS.forwards, _STATS.backwards, _STATS.seconds)
+    return GnnStats(int(_FORWARDS.value), int(_BACKWARDS.value), _SECONDS.value)
 
 
 _REFERENCE_MODE = False
@@ -155,14 +161,15 @@ class GpNetEmbedding(Module):
 
     def forward(self, gpnet: GpNet) -> Tensor:
         began = time.perf_counter()
-        out = self._embed(gpnet)
-        _STATS.forwards += 1
-        _STATS.seconds += time.perf_counter() - began
+        with span("gnn.forward"):
+            out = self._embed(gpnet)
+        _FORWARDS.inc()
+        _SECONDS.inc(time.perf_counter() - began)
         if not out.requires_grad:
             return out
 
         def backward(grad: np.ndarray) -> None:
-            _STATS.backwards += 1
+            _BACKWARDS.inc()
             out._accumulate(grad)
 
         return Tensor._make(out.data, (out,), backward, "gnn-stats")

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..nn import Adam, Tensor, stack
 from ..runtime.evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluator
+from ..telemetry import metrics, span
 from ..sim.objectives import Objective
 from .agent import GiPHAgent
 from .env import PlacementEnv
@@ -206,15 +207,18 @@ class ReinforceTrainer:
             evaluator=self.evaluator_for(problem),
             builder=self._builder_for(problem),
         )
-        log_probs, rewards, initial_value, final_value, best_value = collect_episode(
-            self.agent, env, rng
-        )
-        loss = episode_loss(log_probs, rewards, cfg)
-        self.optimizer.zero_grad()
-        loss.backward()
-        grad_norm = self.optimizer.clip_grad_norm(cfg.grad_clip)
-        self.optimizer.step()
+        with span("reinforce.episode"):
+            log_probs, rewards, initial_value, final_value, best_value = collect_episode(
+                self.agent, env, rng
+            )
+            loss = episode_loss(log_probs, rewards, cfg)
+        with span("reinforce.grad"):
+            self.optimizer.zero_grad()
+            loss.backward()
+            grad_norm = self.optimizer.clip_grad_norm(cfg.grad_clip)
+            self.optimizer.step()
 
+        metrics().counter("reinforce.episodes").inc()
         stats = EpisodeStats(
             episode=len(self.history),
             initial_value=initial_value,
@@ -331,16 +335,17 @@ class ReinforceTrainer:
                 )
                 # Mean gradient, summed in slot order so the float op
                 # order (and thus the update) is worker-count independent.
-                for i, param in enumerate(params):
-                    acc = None
-                    for rollout in rollouts:
-                        grad = rollout.grads[i]
-                        if grad is None:
-                            continue
-                        acc = grad.copy() if acc is None else acc + grad
-                    param.grad = acc / k if acc is not None else None
-                self.optimizer.clip_grad_norm(cfg.grad_clip)
-                self.optimizer.step()
+                with span("reinforce.grad"):
+                    for i, param in enumerate(params):
+                        acc = None
+                        for rollout in rollouts:
+                            grad = rollout.grads[i]
+                            if grad is None:
+                                continue
+                            acc = grad.copy() if acc is None else acc + grad
+                        param.grad = acc / k if acc is not None else None
+                    self.optimizer.clip_grad_norm(cfg.grad_clip)
+                    self.optimizer.step()
                 for rollout in rollouts:
                     ep = EpisodeStats(
                         episode=len(self.history),

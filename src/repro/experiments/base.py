@@ -32,6 +32,29 @@ def _strip_volatile(node: Any) -> Any:
     return node
 
 
+def _keep_volatile(node: Any) -> Any:
+    """Complement of :func:`_strip_volatile`: volatile subtrees only.
+
+    Volatile keys keep their whole value; elsewhere the recursion keeps
+    only branches that lead to one, dropping empty containers, so the
+    result mirrors the report's shape with just the run-dependent leaves.
+    """
+    if isinstance(node, dict):
+        kept = {}
+        for key, value in node.items():
+            if key in VOLATILE_DATA_KEYS:
+                kept[key] = value
+            else:
+                sub = _keep_volatile(value)
+                if sub:
+                    kept[key] = sub
+        return kept
+    if isinstance(node, (list, tuple)):
+        subs = [_keep_volatile(item) for item in node]
+        return subs if any(subs) else []
+    return None
+
+
 @dataclass(frozen=True)
 class ExperimentReport:
     """Output of one experiment module.
@@ -49,6 +72,14 @@ class ExperimentReport:
     def stable_data(self) -> dict[str, Any]:
         """``data`` minus the :data:`VOLATILE_DATA_KEYS` (recursively)."""
         return _strip_volatile(self.data)
+
+    def volatile_data(self) -> dict[str, Any]:
+        """The complement of :meth:`stable_data`: the run-dependent
+        timings/cache counters only, in the report's shape.  This is
+        what the CLI surfaces under the ``runtime`` key of ``--json``
+        payloads — deliberately outside :meth:`to_json`, which must stay
+        byte-stable across runs."""
+        return _keep_volatile(self.data)
 
     def to_json(self) -> str:
         """Canonical JSON of the report's deterministic content.

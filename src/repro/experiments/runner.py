@@ -29,6 +29,7 @@ from ..parallel.pool import get_context as pool_context
 from ..runtime.evaluator import EvaluatorStats, PlacementEvaluator
 from ..sim.metrics import cp_min_lower_bound
 from ..sim.objectives import MakespanObjective, Objective
+from ..telemetry import metrics, span
 
 __all__ = [
     "HeftPolicy",
@@ -169,17 +170,18 @@ def _train_grid_cell(index: int) -> SearchPolicy:
     spec: TrainSpec = ctx.specs[index]
     problems = ctx.problem_sets[spec.problems_key]
     rng = np.random.default_rng(list(spec.stream))
-    if spec.kind == "giph":
-        agent = train_giph(
-            problems, rng, spec.episodes,
-            objective=spec.objective, embedding=spec.embedding,
-        )
-        return GiPHSearchPolicy(agent, name=spec.name)
-    if spec.kind == "task-eft":
-        return train_task_eft(problems, rng, spec.episodes, objective=spec.objective)
-    if spec.kind == "placeto":
-        return train_placeto(problems, rng, spec.episodes, objective=spec.objective)
-    raise ValueError(f"unknown TrainSpec kind {spec.kind!r}")
+    with span("train.cell"):
+        if spec.kind == "giph":
+            agent = train_giph(
+                problems, rng, spec.episodes,
+                objective=spec.objective, embedding=spec.embedding,
+            )
+            return GiPHSearchPolicy(agent, name=spec.name)
+        if spec.kind == "task-eft":
+            return train_task_eft(problems, rng, spec.episodes, objective=spec.objective)
+        if spec.kind == "placeto":
+            return train_placeto(problems, rng, spec.episodes, objective=spec.objective)
+        raise ValueError(f"unknown TrainSpec kind {spec.kind!r}")
 
 
 def train_policy_grid(
@@ -203,7 +205,8 @@ def train_policy_grid(
         problem_sets=tuple(list(p) for p in problem_sets), specs=tuple(specs)
     )
     backend = resolve_backend(backend, workers)
-    policies = backend.fanout(_train_grid_cell, range(len(specs)), context)
+    with span("train.grid"):
+        policies = backend.fanout(_train_grid_cell, range(len(specs)), context)
     return dict(zip(names, policies))
 
 
@@ -273,38 +276,39 @@ def _evaluate_case(case_index: int) -> dict[str, tuple]:
     steps = ctx.episode_multiplier * problem.graph.num_tasks
     denom = cp_min_lower_bound(problem.cost_model) if ctx.normalize_slr else 1.0
     out: dict[str, tuple] = {}
-    for name, policy in ctx.policies.items():
-        if ctx.objective is not None:
-            case_objective: Objective = ctx.objective
-        elif ctx.noise > 0.0:
-            case_objective = MakespanObjective(
-                noise=ctx.noise, rng=np.random.default_rng(case_rng.integers(0, 2**63))
+    with span("eval.case"):
+        for name, policy in ctx.policies.items():
+            if ctx.objective is not None:
+                case_objective: Objective = ctx.objective
+            elif ctx.noise > 0.0:
+                case_objective = MakespanObjective(
+                    noise=ctx.noise, rng=np.random.default_rng(case_rng.integers(0, 2**63))
+                )
+            else:
+                case_objective = MakespanObjective()
+            evaluator = PlacementEvaluator(problem, case_objective)
+            gnn_before = gnn_stats()
+            began = time.perf_counter()
+            trace = policy.search(
+                problem,
+                case_objective,
+                initial,
+                steps,
+                np.random.default_rng(case_rng.integers(0, 2**63)),
+                evaluator=evaluator,
             )
-        else:
-            case_objective = MakespanObjective()
-        evaluator = PlacementEvaluator(problem, case_objective)
-        gnn_before = gnn_stats()
-        began = time.perf_counter()
-        trace = policy.search(
-            problem,
-            case_objective,
-            initial,
-            steps,
-            np.random.default_rng(case_rng.integers(0, 2**63)),
-            evaluator=evaluator,
-        )
-        elapsed = time.perf_counter() - began
-        out[name] = (
-            np.asarray(trace.best_over_time) / denom,
-            trace.best_value / denom,
-            trace,
-            evaluator.stats,
-            elapsed,
-            # Delta of the process-global GNN counters over this search:
-            # the search runs single-threaded inside this task, so the
-            # delta is exactly the policy's own embedding work.
-            gnn_stats().delta(gnn_before),
-        )
+            elapsed = time.perf_counter() - began
+            out[name] = (
+                np.asarray(trace.best_over_time) / denom,
+                trace.best_value / denom,
+                trace,
+                evaluator.stats,
+                elapsed,
+                # Delta of the process-global GNN counters over this search:
+                # the search runs single-threaded inside this task, so the
+                # delta is exactly the policy's own embedding work.
+                gnn_stats().delta(gnn_before),
+            )
     return out
 
 
@@ -359,9 +363,10 @@ def evaluate_policies(
         normalize_slr=normalize_slr,
         objective=objective,
     )
-    case_results = resolve_backend(backend, workers).fanout(
-        _evaluate_case, range(len(problems)), context
-    )
+    with span("eval.sweep"):
+        case_results = resolve_backend(backend, workers).fanout(
+            _evaluate_case, range(len(problems)), context
+        )
 
     for case_out in case_results:
         for name, (curve, final, trace, case_stats, elapsed, case_gnn) in case_out.items():
@@ -371,6 +376,15 @@ def evaluate_policies(
             stats[name].merge(case_stats)
             seconds[name] += elapsed
             gnn[name].merge(case_gnn)
+
+    # Instance-scoped evaluator counters roll up into the process
+    # registry here, at the merge point (gnn counters are registry-backed
+    # and shipped with task deltas already — absorbing them again would
+    # double-count).
+    sweep_total = EvaluatorStats()
+    for merged in stats.values():
+        sweep_total.merge(merged)
+    metrics().absorb("evaluator", sweep_total.as_dict(), skip=("hit_rate",))
 
     return EvalResult(
         curves={name: average_curves(cs) for name, cs in curves.items()},

@@ -37,6 +37,7 @@ import time
 from typing import Any, Callable, Iterable, Mapping, Sequence, TypeVar
 
 from ..store import RunStore, active_store
+from ..telemetry import log, span
 from .pool import WorkerPool, fanout, resolve_workers
 
 __all__ = [
@@ -211,6 +212,8 @@ class ShardBackend(_StoreBackend):
         missing: str = "compute",
         wait_timeout_s: float = 3600.0,
         poll_interval_s: float = 0.2,
+        progress: Callable[..., None] | None = None,
+        progress_interval_s: float = 10.0,
     ) -> None:
         super().__init__(store, run_key)
         if num_shards < 1:
@@ -225,9 +228,22 @@ class ShardBackend(_StoreBackend):
         self.missing = missing
         self.wait_timeout_s = wait_timeout_s
         self.poll_interval_s = poll_interval_s
+        self.progress = progress
+        self.progress_interval_s = progress_interval_s
 
     def _owns(self, index: int) -> bool:
         return index % self.num_shards == self.shard_index
+
+    def _progress(self, **fields) -> None:
+        """Liveness record: shipped to the progress sink, never fatal."""
+        if self.progress is None:
+            return
+        try:
+            self.progress(
+                shard=self.shard_index, num_shards=self.num_shards, **fields
+            )
+        except Exception:
+            pass
 
     def compute(self, kind: str, key: Mapping[str, Any], producer: Callable[[], _T]) -> _T:
         """Stage memoization with the same ownership discipline as cells.
@@ -240,16 +256,35 @@ class ShardBackend(_StoreBackend):
         partitioning for the expensive training stages too.
         """
         if self.missing == "wait" and self.shard_index != 0:
-            deadline = time.monotonic() + self.wait_timeout_s
-            while not self.store.has(kind, key):
-                if time.monotonic() >= deadline:
-                    raise ExecutionBackendError(
-                        f"shard {self.shard_index}/{self.num_shards} timed out after "
-                        f"{self.wait_timeout_s:.0f}s waiting for shard 0 to publish "
-                        f"stage {kind}/{self.store.address(kind, key)[:12]}; "
-                        "is shard 0 running against this store?"
-                    )
-                time.sleep(self.poll_interval_s)
+            began = time.monotonic()
+            deadline = began + self.wait_timeout_s
+            next_report = began + self.progress_interval_s
+            address = self.store.address(kind, key)[:12]
+            with span("shard.await"):
+                while not self.store.has(kind, key):
+                    now = time.monotonic()
+                    if now >= deadline:
+                        raise ExecutionBackendError(
+                            f"shard {self.shard_index}/{self.num_shards} timed out after "
+                            f"{self.wait_timeout_s:.0f}s waiting for shard 0 to publish "
+                            f"stage {kind}/{address}; "
+                            "is shard 0 running against this store?"
+                        )
+                    if now >= next_report:
+                        next_report = now + self.progress_interval_s
+                        elapsed = now - began
+                        log.info(
+                            f"shard {self.shard_index}/{self.num_shards}: waiting on "
+                            f"stage {kind}/{address} owned by shard 0 "
+                            f"({elapsed:.0f}s elapsed)"
+                        )
+                        self._progress(
+                            phase="await-stage",
+                            stage=f"{kind}/{address}",
+                            owners=[0],
+                            elapsed_s=elapsed,
+                        )
+                    time.sleep(self.poll_interval_s)
             return self.store.load(kind, key)
         return self.store.get_or_create(kind, key, producer)
 
@@ -266,12 +301,13 @@ class ShardBackend(_StoreBackend):
         owned = [i for i in range(len(items)) if i not in results and self._owns(i)]
         self._produce(fn, items, keys, owned, context, results)
         pending = [i for i in range(len(items)) if i not in results]
-        if not pending:
-            return [results[i] for i in range(len(items))]
-        if self.missing == "wait":
-            self._await_cells(site, keys, pending, results)
-        else:
-            self._produce(fn, items, keys, pending, context, results)
+        if pending:
+            if self.missing == "wait":
+                with span("shard.await"):
+                    self._await_cells(site, keys, pending, results)
+            else:
+                self._produce(fn, items, keys, pending, context, results)
+        self._progress(phase="fanout-done", site=site, cells=len(items))
         return [results[i] for i in range(len(items))]
 
     def _produce(
@@ -309,7 +345,9 @@ class ShardBackend(_StoreBackend):
         pending: Sequence[int],
         results: dict[int, Any],
     ) -> None:
-        deadline = time.monotonic() + self.wait_timeout_s
+        began = time.monotonic()
+        deadline = began + self.wait_timeout_s
+        next_report = began + self.progress_interval_s
         remaining = list(pending)
         while remaining:
             remaining = [i for i in remaining if i not in results]
@@ -319,12 +357,29 @@ class ShardBackend(_StoreBackend):
                     remaining.remove(i)
             if not remaining:
                 return
-            if time.monotonic() >= deadline:
+            now = time.monotonic()
+            if now >= deadline:
                 raise ExecutionBackendError(
                     f"shard {self.shard_index}/{self.num_shards} timed out after "
                     f"{self.wait_timeout_s:.0f}s waiting for {len(remaining)} "
                     f"peer cell(s) of {site} (first: index {remaining[0]}); "
                     "are all planned shards running against this store?"
+                )
+            if now >= next_report:
+                next_report = now + self.progress_interval_s
+                owners = sorted({i % self.num_shards for i in remaining})
+                elapsed = now - began
+                log.info(
+                    f"shard {self.shard_index}/{self.num_shards}: waiting on "
+                    f"{len(remaining)} peer cell(s) of {site} owned by "
+                    f"shard(s) {','.join(map(str, owners))} ({elapsed:.0f}s elapsed)"
+                )
+                self._progress(
+                    phase="await-cells",
+                    site=site,
+                    remaining=len(remaining),
+                    owners=owners,
+                    elapsed_s=elapsed,
                 )
             time.sleep(self.poll_interval_s)
 

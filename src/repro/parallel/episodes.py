@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..telemetry import metrics, span
 from .pool import get_context, task_rng
 
 __all__ = [
@@ -212,12 +213,14 @@ def rollout_episode(payload: EpisodePayload) -> EpisodeRollout:
         evaluator=evaluator,
         builder=ctx.builder_for(problem),
     )
-    log_probs, rewards, initial_value, final_value, best_value = collect_episode(
-        agent, env, rng
-    )
-    loss = episode_loss(log_probs, rewards, cfg)
-    agent.zero_grad()
-    loss.backward()
+    with span("reinforce.episode"):
+        log_probs, rewards, initial_value, final_value, best_value = collect_episode(
+            agent, env, rng
+        )
+        loss = episode_loss(log_probs, rewards, cfg)
+        agent.zero_grad()
+        loss.backward()
+    metrics().counter("reinforce.episodes").inc()
 
     grads: list = []
     sq_total = 0.0

@@ -39,6 +39,8 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
+from ..telemetry import spans as _telemetry
+
 __all__ = [
     "WorkerPool",
     "get_context",
@@ -84,9 +86,23 @@ def available_workers() -> int:
         return os.cpu_count() or 1
 
 
+class _TaskShipment:
+    """Worker task result + the telemetry it recorded, shipped together."""
+
+    __slots__ = ("result", "delta")
+
+    def __init__(self, result: Any, delta: _telemetry.TaskDelta) -> None:
+        self.result = result
+        self.delta = delta
+
+
 def _invoke(item: tuple[Callable[[Any], Any], Any]) -> Any:
     fn, payload = item
-    return fn(payload)
+    token = _telemetry.begin_task()
+    if token is None:
+        return fn(payload)
+    result = fn(payload)
+    return _TaskShipment(result, _telemetry.end_task(token))
 
 
 class WorkerPool:
@@ -137,7 +153,14 @@ class WorkerPool:
                 return [fn(p) for p in items]
             finally:
                 _CONTEXT = saved
-        return self._pool.map(_invoke, [(fn, p) for p in items], chunksize=1)
+        shipped = self._pool.map(_invoke, [(fn, p) for p in items], chunksize=1)
+        results = []
+        for entry in shipped:
+            if isinstance(entry, _TaskShipment):
+                _telemetry.merge_task_delta(entry.delta)
+                entry = entry.result
+            results.append(entry)
+        return results
 
     def close(self) -> None:
         """Shut down worker processes (no-op inline)."""

@@ -30,6 +30,7 @@ import numpy as np
 from ..core.placement import PlacementProblem
 from ..sim.executor import SimResult
 from ..sim.objectives import MakespanObjective, Objective
+from ..telemetry import metrics, span, traced
 from .fastsim import FastSimulator
 
 __all__ = ["EvaluatorStats", "PlacementEvaluator", "EvaluatorPool"]
@@ -149,7 +150,8 @@ class PlacementEvaluator:
             self.stats.timeline_hits += 1
             return cached
         self.stats.timeline_misses += 1
-        result = self._sim.run(key, validate=False)
+        with span("evaluator.sim"):
+            result = self._sim.run(key, validate=False)
         self._store(self._timelines, key, result)
         return result
 
@@ -172,6 +174,7 @@ class PlacementEvaluator:
         self._store(self._values, key, value)
         return value
 
+    @traced("evaluator.batch")
     def evaluate_many(self, placements: Sequence[Sequence[int]]) -> np.ndarray:
         """Score a batch; identical to ``[evaluate(p) for p in placements]``.
 
@@ -184,10 +187,14 @@ class PlacementEvaluator:
         if not keys:
             return np.zeros(0, dtype=np.float64)
         self.stats.evaluations += len(keys)
+        metrics().histogram("evaluator.batch_size").observe(len(keys))
         if not self.deterministic:
             self.stats.exact_path += len(keys)
             cm = self.problem.cost_model
-            return np.array([self.objective.evaluate(cm, k) for k in keys], dtype=np.float64)
+            with span("evaluator.exact"):
+                return np.array(
+                    [self.objective.evaluate(cm, k) for k in keys], dtype=np.float64
+                )
 
         values = np.empty(len(keys), dtype=np.float64)
         misses: dict[tuple[int, ...], list[int]] = {}
@@ -207,26 +214,28 @@ class PlacementEvaluator:
             self.stats.cache_misses += len(todo)
             self.stats.cache_hits += sum(len(ix) - 1 for ix in misses.values())
             if self._is_makespan:
-                batch = np.array(todo, dtype=np.int64)
-                compute, comm = self._sim.batch_costs(batch)
-                self.stats.fast_path += len(todo)
-                for j, key in enumerate(todo):
-                    result = self._sim.run(
-                        key, compute=compute[j], comm=comm[j], validate=False
-                    )
-                    # Only the scalar goes in the cache: batch callers score
-                    # one-shot candidates, and retaining a SimResult per
-                    # batch miss would churn the (heavier) timeline LRU
-                    # that timeline() consumers rely on.
-                    self._store(self._values, key, result.makespan)
-                    values[misses[key]] = result.makespan
+                with span("evaluator.sim"):
+                    batch = np.array(todo, dtype=np.int64)
+                    compute, comm = self._sim.batch_costs(batch)
+                    self.stats.fast_path += len(todo)
+                    for j, key in enumerate(todo):
+                        result = self._sim.run(
+                            key, compute=compute[j], comm=comm[j], validate=False
+                        )
+                        # Only the scalar goes in the cache: batch callers
+                        # score one-shot candidates, and retaining a
+                        # SimResult per batch miss would churn the (heavier)
+                        # timeline LRU that timeline() consumers rely on.
+                        self._store(self._values, key, result.makespan)
+                        values[misses[key]] = result.makespan
             else:
                 cm = self.problem.cost_model
                 self.stats.exact_path += len(todo)
-                for key in todo:
-                    value = self.objective.evaluate(cm, key)
-                    self._store(self._values, key, value)
-                    values[misses[key]] = value
+                with span("evaluator.exact"):
+                    for key in todo:
+                        value = self.objective.evaluate(cm, key)
+                        self._store(self._values, key, value)
+                        values[misses[key]] = value
         return values
 
     # -- internals --------------------------------------------------------------------

@@ -48,6 +48,7 @@ from ..runtime.evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluato
 from ..sim.metrics import cp_min_lower_bound
 from ..sim.objectives import MakespanObjective, Objective
 from ..sim.relocation import RelocationCostModel, TaskRelocationProfile
+from ..telemetry import DeltaTracker, metrics, span
 from .events import MaterializedScenario, ScenarioEvent, materialize
 from .report import AdaptationReport, StepRecord
 from .spec import ScenarioSpec
@@ -81,21 +82,6 @@ class ScenarioResult:
 
     def slr_series(self, policy: str) -> list[float]:
         return self.reports[policy].series("mean_slr")
-
-
-class _StatsTracker:
-    """Per-step deltas over a monotonically growing stats aggregate."""
-
-    def __init__(self) -> None:
-        self._last = EvaluatorStats()
-
-    def delta(self, total: EvaluatorStats) -> tuple[int, float]:
-        evaluations = total.evaluations - self._last.evaluations
-        hits = total.cache_hits - self._last.cache_hits
-        misses = total.cache_misses - self._last.cache_misses
-        looked_up = hits + misses
-        self._last = EvaluatorStats().merge(total)
-        return evaluations, (hits / looked_up if looked_up else 0.0)
 
 
 class ScenarioRunner:
@@ -244,22 +230,23 @@ class ScenarioRunner:
         """
         searcher = RandomTaskEftPolicy()
         slrs = []
-        for graph_index, problem in enumerate(problems):
-            rng = np.random.default_rng(
-                [self.spec.seed, _ORACLE_KEY, event.index, graph_index]
-            )
-            evaluator = self._evaluator(pool, problem, objective)
-            heft_value = evaluator.evaluate(heft_placement(problem).placement)
-            trace = searcher.search(
-                problem,
-                objective,
-                random_placement(problem, rng),
-                self.episode_multiplier * problem.graph.num_tasks,
-                rng,
-                evaluator=evaluator,
-            )
-            denom = self._denominator(problem, objective)
-            slrs.append(min(heft_value, trace.best_value) / denom)
+        with span("scenario.oracle"):
+            for graph_index, problem in enumerate(problems):
+                rng = np.random.default_rng(
+                    [self.spec.seed, _ORACLE_KEY, event.index, graph_index]
+                )
+                evaluator = self._evaluator(pool, problem, objective)
+                heft_value = evaluator.evaluate(heft_placement(problem).placement)
+                trace = searcher.search(
+                    problem,
+                    objective,
+                    random_placement(problem, rng),
+                    self.episode_multiplier * problem.graph.num_tasks,
+                    rng,
+                    evaluator=evaluator,
+                )
+                denom = self._denominator(problem, objective)
+                slrs.append(min(heft_value, trace.best_value) / denom)
         return float(np.mean(slrs))
 
     def _oracle_slr(
@@ -364,7 +351,7 @@ class ScenarioRunner:
         key = _policy_key(name)
         pool = EvaluatorPool(objective) if self.reuse_evaluators else None
         cold_stats = EvaluatorStats()  # aggregate when evaluators are per-event
-        tracker = _StatsTracker()
+        tracker = DeltaTracker(EvaluatorStats().as_dict())
 
         state = self._replay_state()
         _, problems, network = next(state)
@@ -382,7 +369,8 @@ class ScenarioRunner:
             began = time.perf_counter()
             adapt = getattr(policy, "adapt", None)
             if callable(adapt):
-                adapt(event)
+                with span("scenario.adapt"):
+                    adapt(event)
             if event.kind == "arrival":
                 placements.append(None)
             else:
@@ -394,16 +382,18 @@ class ScenarioRunner:
             for i, problem in enumerate(problems):
                 evaluator = self._evaluator(pool, problem, objective)
                 initial = self._repair(placements[i], problem)
-                trace = policy.search(
-                    problem,
-                    objective,
-                    initial,
-                    self.episode_multiplier * problem.graph.num_tasks,
-                    rng,
-                    evaluator=evaluator,
-                )
+                with span("scenario.search"):
+                    trace = policy.search(
+                        problem,
+                        objective,
+                        initial,
+                        self.episode_multiplier * problem.graph.num_tasks,
+                        rng,
+                        evaluator=evaluator,
+                    )
                 new_uids = _uid_placement(trace.best_placement, network)
-                moved, cost = self._migration(placements[i], new_uids, network, model)
+                with span("scenario.migrate"):
+                    moved, cost = self._migration(placements[i], new_uids, network, model)
                 placements[i] = new_uids
                 moved_total += moved
                 cost_total += cost
@@ -414,7 +404,10 @@ class ScenarioRunner:
 
             elapsed = time.perf_counter() - began
             total = pool.stats() if pool is not None else cold_stats
-            evaluations, hit_rate = tracker.delta(total)
+            step_delta = tracker.delta(total.as_dict())
+            evaluations = int(step_delta.get("evaluations", 0))
+            looked_up = step_delta.get("cache_hits", 0) + step_delta.get("cache_misses", 0)
+            hit_rate = step_delta.get("cache_hits", 0) / looked_up if looked_up else 0.0
             frequency = spec.relocation.pipeline_frequency_hz
             steps.append(
                 StepRecord(
@@ -438,6 +431,7 @@ class ScenarioRunner:
             )
 
         final_stats = pool.stats() if pool is not None else cold_stats
+        metrics().absorb("scenario.evaluator", final_stats.as_dict(), skip=("hit_rate",))
         return AdaptationReport(
             scenario=spec.name,
             policy=name,

@@ -39,6 +39,7 @@ from ..parallel.backends import (
 )
 from ..parallel.pool import resolve_workers
 from ..store import RunStore, code_fingerprint, fingerprint, set_active_store
+from ..telemetry import ProgressWriter, capture_run, span, write_run_log
 from .manifest import (
     ShardManifest,
     StaleManifestError,
@@ -135,6 +136,9 @@ def run_shard(
     manifest, path, store = _open(manifest_path)
     count = resolve_workers(workers)
     inner = ForkBackend(count) if count > 1 else InlineBackend()
+    tag = f"shard{manifest.shard_index}of{manifest.num_shards}"
+    telemetry_dir = store.root / "telemetry"
+    heartbeat = ProgressWriter(telemetry_dir / f"progress-{tag}.jsonl")
     backend = ShardBackend(
         store,
         manifest.run,
@@ -143,8 +147,23 @@ def run_shard(
         inner=inner,
         missing=missing,
         wait_timeout_s=wait_timeout_s,
+        progress=heartbeat.write,
     )
-    return _execute(manifest, store, backend)
+    meta = {
+        "experiment": manifest.experiment,
+        "seed": manifest.seed,
+        "scale": manifest.scale.name,
+        "shard": manifest.shard_index,
+        "num_shards": manifest.num_shards,
+    }
+    heartbeat.write(phase="start", experiment=manifest.experiment)
+    with capture_run(meta) as capture:
+        with span(f"experiment.{manifest.experiment}"):
+            report = _execute(manifest, store, backend)
+    heartbeat.write(phase="done", experiment=manifest.experiment)
+    if capture.delta is not None:
+        write_run_log(telemetry_dir / f"{tag}.jsonl", capture)
+    return report
 
 
 def collect_manifests(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]:

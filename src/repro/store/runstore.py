@@ -32,6 +32,8 @@ import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from ..telemetry import metrics
+
 __all__ = [
     "RunStore",
     "StoreStats",
@@ -124,11 +126,13 @@ class RunStore:
             payload = path.read_bytes()
         except FileNotFoundError:
             self.stats.misses += 1
+            metrics().counter("store.misses").inc()
             raise KeyError(
                 f"store entry {kind}/{self.address(kind, key)[:12]} not found "
                 f"under {self.root}"
             ) from None
         self.stats.hits += 1
+        metrics().counter("store.hits").inc()
         return pickle.loads(payload)
 
     def save(self, kind: str, key: Mapping[str, Any], value: Any) -> pathlib.Path:
@@ -146,6 +150,7 @@ class RunStore:
         tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
         os.replace(tmp, path)
         self.stats.writes += 1
+        metrics().counter("store.writes").inc()
         return path
 
     def get_or_create(

@@ -1,0 +1,242 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+One `Metrics` instance per process collects every numeric signal the
+repo previously scattered over ad-hoc Stats classes (`EvaluatorStats`,
+`GnnStats`, `StoreStats`, `EpisodeStats`, the scenario tracker).  The
+legacy dataclasses keep their public shape where reports depend on it,
+but their storage either *is* a registry counter (gnn, store) or is
+absorbed into the registry at merge points (evaluator instances), so
+`metrics().snapshot()` is the one place to read a run's counters.
+
+Snapshots are plain dataclasses of dicts: picklable, diffable
+(`snapshot.delta(since)`) and mergeable (`registry.merge_snapshot`), so
+fork workers and shard processes ship their activity home exactly like
+span deltas (see :mod:`repro.telemetry.spans`).
+
+Instruments are deliberately minimal — no labels, no time windows; a
+name is a dotted string like ``"store.hits"``.  Values never feed back
+into computation: the registry is observational only (the determinism
+suites run with it on and off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "DeltaTracker",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "MetricsSnapshot",
+    "metrics",
+]
+
+
+class Counter:
+    """Monotonic accumulator (floats allowed: seconds are counters too)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary: count / total / min / max (no buckets)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsSnapshot:
+    """Frozen copy of a registry, picklable and diffable.
+
+    ``histograms`` maps name -> ``(count, total, min, max)``.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, tuple[int, float, float, float]] = field(default_factory=dict)
+
+    def delta(self, since: "MetricsSnapshot") -> "MetricsSnapshot":
+        """What happened after ``since`` was taken (drops unchanged entries).
+
+        Counter/histogram values subtract; gauges are last-write-wins so
+        a changed gauge carries its current value.  Histogram min/max
+        can't be subtracted — the delta keeps the current extremes,
+        which stay correct under :meth:`Metrics.merge_snapshot`'s
+        min/min, max/max combination.
+        """
+        counters = {}
+        for name, value in self.counters.items():
+            diff = value - since.counters.get(name, 0.0)
+            if diff:
+                counters[name] = diff
+        gauges = {
+            name: value
+            for name, value in self.gauges.items()
+            if since.gauges.get(name) != value
+        }
+        histograms = {}
+        for name, (count, total, lo, hi) in self.histograms.items():
+            count0, total0, _, _ = since.histograms.get(name, (0, 0.0, 0.0, 0.0))
+            if count > count0:
+                histograms[name] = (count - count0, total - total0, lo, hi)
+        return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (histograms expanded to labeled fields)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: {
+                    "count": count,
+                    "total": total,
+                    "min": lo,
+                    "max": hi,
+                    "mean": total / count if count else 0.0,
+                }
+                for name, (count, total, lo, hi) in sorted(self.histograms.items())
+            },
+        }
+
+
+class Metrics:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            self._counters[name] = inst = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            self._gauges[name] = inst = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            self._histograms[name] = inst = Histogram()
+        return inst
+
+    def absorb(
+        self, prefix: str, mapping: Mapping[str, float], skip: Iterable[str] = ()
+    ) -> None:
+        """Add a legacy stats ``as_dict()`` into prefixed counters.
+
+        Derived/non-additive fields (rates, averages) go in ``skip``.
+        Used at merge points for *instance-scoped* stats (e.g. a run's
+        merged `EvaluatorStats`); process-global stats that are already
+        registry-backed must NOT also be absorbed or they double-count.
+        """
+        skipped = frozenset(skip)
+        for key, value in mapping.items():
+            if key in skipped or not isinstance(value, (int, float)):
+                continue
+            self.counter(f"{prefix}.{key}").inc(value)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={name: c.value for name, c in self._counters.items()},
+            gauges={name: g.value for name, g in self._gauges.items()},
+            histograms={
+                name: (h.count, h.total, h.min, h.max)
+                for name, h in self._histograms.items()
+                if h.count
+            },
+        )
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        """Fold a shipped snapshot (usually a delta) into this registry."""
+        for name, value in snap.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snap.gauges.items():
+            self.gauge(name).set(value)
+        for name, (count, total, lo, hi) in snap.histograms.items():
+            hist = self.histogram(name)
+            hist.count += count
+            hist.total += total
+            if lo < hist.min:
+                hist.min = lo
+            if hi > hist.max:
+                hist.max = hi
+
+    def reset(self) -> None:
+        """Drop every instrument (tests only)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_METRICS = Metrics()
+
+
+def metrics() -> Metrics:
+    """The process-wide registry."""
+    return _METRICS
+
+
+class DeltaTracker:
+    """Per-window diffs over a numeric mapping (e.g. a stats ``as_dict()``).
+
+    Replaces the scenario runner's ad-hoc ``_StatsTracker``: snapshot a
+    mapping once, then ``delta(current)`` returns per-key increments
+    since the previous call and advances the window.
+    """
+
+    def __init__(self, mapping: Mapping[str, float]) -> None:
+        self._last = {k: v for k, v in mapping.items() if isinstance(v, (int, float))}
+
+    def delta(self, mapping: Mapping[str, float]) -> dict[str, float]:
+        current = {
+            k: v for k, v in mapping.items() if isinstance(v, (int, float))
+        }
+        diff = {k: v - self._last.get(k, 0) for k, v in current.items()}
+        self._last = current
+        return diff

@@ -1,0 +1,305 @@
+"""Hierarchical trace spans over one process-wide collector.
+
+A span measures one timed region on the monotonic clock
+(``time.perf_counter``) and files it under a ``/``-joined hierarchical
+path maintained by a simple enter/exit stack::
+
+    with span("gnn.forward"):
+        ...                       # recorded as <enclosing path>/gnn.forward
+
+The collector keeps two views of the same activity:
+
+* **aggregates** — ``path -> SpanStat(calls, seconds)``, always
+  complete, tiny, and mergeable (this is what ``repro trace`` renders);
+* **raw events** — ``(path, start, duration, pid)`` tuples for the
+  Chrome trace-event export, best-effort: spans shorter than
+  ``event_min_s`` are aggregated but not retained individually, and the
+  list is capped (``events_dropped`` counts the overflow) so a long run
+  cannot grow memory without bound.
+
+Telemetry must never change computed results: spans touch no rng, no
+report data, and no control flow.  When disabled (``REPRO_TELEMETRY=off``
+or :func:`set_enabled`), :func:`span` returns a shared no-op context
+manager — one attribute check and no allocation — so hot paths can stay
+instrumented unconditionally.
+
+Cross-process capture
+---------------------
+Fork workers record spans against *their own* collector copy.  The pool
+layer (:mod:`repro.parallel.pool`) brackets every worker task with
+:func:`begin_task` / :func:`end_task` — which zero the current path so
+task spans are recorded relative to the task root — and ships the
+resulting :class:`TaskDelta` home in the task result, where
+:func:`merge_task_delta` grafts it under the parent's current span path.
+Inline execution records straight into the live collector, so the merged
+span tree is identical at any worker count (timings aside).  The spans
+of a single-threaded process nest strictly, which is all the path stack
+assumes.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from . import metrics as _metrics
+
+__all__ = [
+    "SpanStat",
+    "TaskDelta",
+    "begin_task",
+    "collector",
+    "enabled",
+    "end_task",
+    "merge_task_delta",
+    "reset",
+    "set_enabled",
+    "span",
+    "traced",
+]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "on").strip().lower() not in (
+        "off",
+        "0",
+        "false",
+        "no",
+    )
+
+
+class SpanStat:
+    """Aggregate of one span path: call count + cumulative seconds."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self, calls: int = 0, seconds: float = 0.0) -> None:
+        self.calls = calls
+        self.seconds = seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanStat(calls={self.calls}, seconds={self.seconds:.6f})"
+
+
+class _Collector:
+    """Process-wide span sink (single-threaded by construction)."""
+
+    __slots__ = (
+        "enabled",
+        "path",
+        "stats",
+        "events",
+        "max_events",
+        "events_dropped",
+        "event_min_s",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = _env_enabled()
+        self.path = ""
+        self.stats: dict[str, SpanStat] = {}
+        self.events: list[tuple[str, float, float, int]] = []
+        self.max_events = 50_000
+        self.events_dropped = 0
+        self.event_min_s = 0.0005
+
+
+_COLLECTOR = _Collector()
+
+
+def collector() -> _Collector:
+    """The process-wide collector (tests and the run-log writer)."""
+    return _COLLECTOR
+
+
+def enabled() -> bool:
+    return _COLLECTOR.enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip span collection; returns the previous setting."""
+    previous = _COLLECTOR.enabled
+    _COLLECTOR.enabled = bool(flag)
+    return previous
+
+
+def reset() -> None:
+    """Drop all recorded spans/events (tests; the enabled flag is kept)."""
+    col = _COLLECTOR
+    col.path = ""
+    col.stats = {}
+    col.events = []
+    col.events_dropped = 0
+
+
+class _Span:
+    __slots__ = ("name", "_saved", "_began")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        col = _COLLECTOR
+        self._saved = col.path
+        col.path = f"{self._saved}/{self.name}" if self._saved else self.name
+        self._began = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        duration = time.perf_counter() - self._began
+        col = _COLLECTOR
+        path = col.path
+        stat = col.stats.get(path)
+        if stat is None:
+            col.stats[path] = stat = SpanStat()
+        stat.calls += 1
+        stat.seconds += duration
+        if duration >= col.event_min_s:
+            if len(col.events) < col.max_events:
+                col.events.append((path, self._began, duration, os.getpid()))
+            else:
+                col.events_dropped += 1
+        col.path = self._saved
+        return False
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+def span(name: str):
+    """Context manager timing one region under the current span path.
+
+    Disabled mode returns a shared no-op object: the call costs one
+    attribute check, so instrumentation can stay in hot paths.
+    """
+    if not _COLLECTOR.enabled:
+        return _NOOP
+    return _Span(name)
+
+
+def traced(name: str | Callable | None = None):
+    """Decorator form of :func:`span` (``@traced`` or ``@traced("label")``)."""
+
+    def decorate(fn: Callable, label: str | None = None):
+        label = label or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _COLLECTOR.enabled:
+                return fn(*args, **kwargs)
+            with _Span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    if callable(name):  # bare @traced
+        return decorate(name)
+    return lambda fn: decorate(fn, name)
+
+
+# -- cross-process shipping -----------------------------------------------------------
+
+
+@dataclass
+class TaskDelta:
+    """Telemetry accumulated over one bracketed region, picklable.
+
+    ``spans`` maps task-relative paths to ``(calls, seconds)``; ``events``
+    holds the region's raw ``(path, start, duration, pid)`` tuples (start
+    is this machine's monotonic clock — comparable across forked workers
+    of one host); ``metrics`` is the registry delta (see
+    :meth:`repro.telemetry.metrics.MetricsSnapshot.delta`).
+    """
+
+    spans: dict[str, tuple[int, float]] = field(default_factory=dict)
+    events: list[tuple[str, float, float, int]] = field(default_factory=list)
+    events_dropped: int = 0
+    metrics: "_metrics.MetricsSnapshot" = field(
+        default_factory=lambda: _metrics.MetricsSnapshot()
+    )
+
+
+class _TaskToken:
+    __slots__ = ("saved_path", "stats_mark", "events_len", "dropped", "metrics_mark")
+
+
+def begin_task() -> _TaskToken | None:
+    """Open a capture bracket rooted at an empty span path.
+
+    Returns ``None`` when telemetry is disabled (``end_task`` then never
+    runs — callers skip the bracket entirely).  The current path is
+    saved and zeroed so everything recorded until :func:`end_task` lands
+    on task-relative paths, ready to be re-rooted by
+    :func:`merge_task_delta` in the parent.
+    """
+    col = _COLLECTOR
+    if not col.enabled:
+        return None
+    token = _TaskToken()
+    token.saved_path = col.path
+    col.path = ""
+    token.stats_mark = {p: (s.calls, s.seconds) for p, s in col.stats.items()}
+    token.events_len = len(col.events)
+    token.dropped = col.events_dropped
+    token.metrics_mark = _metrics.metrics().snapshot()
+    return token
+
+
+def end_task(token: _TaskToken) -> TaskDelta:
+    """Close a :func:`begin_task` bracket and return what it captured."""
+    col = _COLLECTOR
+    col.path = token.saved_path
+    spans: dict[str, tuple[int, float]] = {}
+    for path, stat in col.stats.items():
+        calls0, seconds0 = token.stats_mark.get(path, (0, 0.0))
+        if stat.calls > calls0:
+            spans[path] = (stat.calls - calls0, stat.seconds - seconds0)
+    return TaskDelta(
+        spans=spans,
+        events=col.events[token.events_len :],
+        events_dropped=col.events_dropped - token.dropped,
+        metrics=_metrics.metrics().snapshot().delta(token.metrics_mark),
+    )
+
+
+def merge_task_delta(delta: TaskDelta | None, prefix: str | None = None) -> None:
+    """Graft a shipped :class:`TaskDelta` under ``prefix`` (default: the
+    collector's current span path — i.e. wherever the fan-out happened).
+
+    Merging is pure accumulation, so merged aggregates equal what inline
+    execution would have recorded in place (the worker/shard span-merge
+    equality the telemetry determinism suite pins).
+    """
+    col = _COLLECTOR
+    if delta is None or not col.enabled:
+        return
+    if prefix is None:
+        prefix = col.path
+    for rel, (calls, seconds) in delta.spans.items():
+        path = f"{prefix}/{rel}" if prefix else rel
+        stat = col.stats.get(path)
+        if stat is None:
+            col.stats[path] = stat = SpanStat()
+        stat.calls += calls
+        stat.seconds += seconds
+    for rel, began, duration, pid in delta.events:
+        path = f"{prefix}/{rel}" if prefix else rel
+        if len(col.events) < col.max_events:
+            col.events.append((path, began, duration, pid))
+        else:
+            col.events_dropped += 1
+    col.events_dropped += delta.events_dropped
+    _metrics.metrics().merge_snapshot(delta.metrics)

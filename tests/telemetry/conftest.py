@@ -1,0 +1,21 @@
+"""Telemetry tests run against the process-wide collector, so every
+test gets a clean span state and its enabled flag restored.  The
+metrics registry is deliberately NOT cleared here: instrumented modules
+(gnn, store) hold references to their registry counters from import
+time, and `Metrics.reset()` would orphan them for the rest of the
+session — tests that need registry isolation use a fresh `Metrics()`
+instance or uniquely named instruments instead.
+"""
+
+import pytest
+
+from repro.telemetry import collector, reset, set_enabled
+
+
+@pytest.fixture(autouse=True)
+def clean_spans():
+    previous = collector().enabled
+    reset()
+    yield
+    set_enabled(previous)
+    reset()

@@ -1,0 +1,212 @@
+"""Span collector: nesting, disabled mode, task brackets, event cap."""
+
+import pickle
+
+from repro.telemetry import (
+    TaskDelta,
+    begin_task,
+    collector,
+    enabled,
+    end_task,
+    merge_task_delta,
+    metrics,
+    reset,
+    set_enabled,
+    span,
+    traced,
+)
+
+
+class TestNesting:
+    def test_paths_join_with_slash(self):
+        set_enabled(True)
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        stats = collector().stats
+        assert stats["outer"].calls == 1
+        assert stats["outer/inner"].calls == 2
+        assert collector().path == ""
+
+    def test_seconds_accumulate_and_nest(self):
+        set_enabled(True)
+        with span("a"):
+            with span("b"):
+                pass
+        stats = collector().stats
+        assert stats["a"].seconds >= stats["a/b"].seconds >= 0.0
+
+    def test_path_restored_on_exception(self):
+        set_enabled(True)
+        try:
+            with span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert collector().path == ""
+        assert collector().stats["boom"].calls == 1
+
+    def test_reset_keeps_enabled_flag(self):
+        set_enabled(True)
+        with span("x"):
+            pass
+        reset()
+        assert collector().stats == {}
+        assert collector().events == []
+        assert enabled()
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        set_enabled(False)
+        with span("ghost"):
+            pass
+        assert collector().stats == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        set_enabled(False)
+        assert span("a") is span("b")
+
+    def test_set_enabled_returns_previous(self):
+        set_enabled(True)
+        assert set_enabled(False) is True
+        assert set_enabled(True) is False
+
+
+class TestTraced:
+    def test_with_label(self):
+        set_enabled(True)
+
+        @traced("worker.step")
+        def step(x):
+            return x + 1
+
+        assert step(1) == 2
+        assert collector().stats["worker.step"].calls == 1
+
+    def test_bare_decorator_uses_qualname(self):
+        set_enabled(True)
+
+        @traced
+        def plain():
+            return 7
+
+        assert plain() == 7
+        (path,) = collector().stats
+        assert path.endswith("plain")
+
+    def test_disabled_passthrough(self):
+        set_enabled(False)
+
+        @traced("skipped")
+        def fn():
+            return "ok"
+
+        assert fn() == "ok"
+        assert collector().stats == {}
+
+
+class TestTaskBrackets:
+    def test_begin_task_none_when_disabled(self):
+        set_enabled(False)
+        assert begin_task() is None
+
+    def test_delta_is_task_relative_and_picklable(self):
+        set_enabled(True)
+        with span("parent"):
+            token = begin_task()
+            with span("work"):
+                with span("sub"):
+                    pass
+            delta = end_task(token)
+        delta = pickle.loads(pickle.dumps(delta))
+        assert isinstance(delta, TaskDelta)
+        assert set(delta.spans) == {"work", "work/sub"}
+        assert delta.spans["work"][0] == 1
+        # The bracket restored the enclosing path.
+        assert collector().stats["parent"].calls == 1
+
+    def test_delta_excludes_prior_activity(self):
+        set_enabled(True)
+        with span("before"):
+            pass
+        token = begin_task()
+        with span("during"):
+            pass
+        delta = end_task(token)
+        assert set(delta.spans) == {"during"}
+
+    def test_merge_grafts_under_current_path(self):
+        set_enabled(True)
+        token = begin_task()
+        with span("cell"):
+            pass
+        delta = end_task(token)
+        reset()
+        with span("train.grid"):
+            merge_task_delta(delta)
+        stats = collector().stats
+        assert stats["train.grid/cell"].calls == 1
+
+    def test_merge_with_explicit_prefix(self):
+        set_enabled(True)
+        token = begin_task()
+        with span("leaf"):
+            pass
+        delta = end_task(token)
+        reset()
+        merge_task_delta(delta, prefix="shardX")
+        assert "shardX/leaf" in collector().stats
+
+    def test_merge_accumulates_repeated_deltas(self):
+        set_enabled(True)
+        token = begin_task()
+        with span("leaf"):
+            pass
+        delta = end_task(token)
+        reset()
+        merge_task_delta(delta, prefix="")
+        merge_task_delta(delta, prefix="")
+        assert collector().stats["leaf"].calls == 2
+
+    def test_merge_none_or_disabled_is_noop(self):
+        set_enabled(True)
+        merge_task_delta(None)
+        set_enabled(False)
+        merge_task_delta(TaskDelta(spans={"x": (1, 0.1)}))
+        assert collector().stats == {}
+
+    def test_delta_ships_metric_increments(self):
+        set_enabled(True)
+        name = "test.task_bracket.counter"
+        token = begin_task()
+        metrics().counter(name).inc(3)
+        delta = end_task(token)
+        assert delta.metrics.counters[name] == 3
+
+
+class TestEventCap:
+    def test_short_spans_aggregate_without_events(self):
+        set_enabled(True)
+        with span("quick"):
+            pass  # far below event_min_s
+        assert collector().stats["quick"].calls == 1
+        assert collector().events == []
+
+    def test_cap_counts_dropped_events(self):
+        set_enabled(True)
+        col = collector()
+        col.max_events = 2
+        col.event_min_s = 0.0
+        try:
+            for _ in range(5):
+                with span("e"):
+                    pass
+            assert len(col.events) == 2
+            assert col.events_dropped == 3
+            assert col.stats["e"].calls == 5  # aggregates never drop
+        finally:
+            col.max_events = 50_000
+            col.event_min_s = 0.0005
