@@ -10,6 +10,10 @@ Subcommands (Artifact Appendix A.5-A.6):
                     them (the Generate_data.ipynb equivalent);
 * ``experiment``  — run one of the paper's table/figure experiments,
                     on a selectable execution backend;
+* ``serve``       — long-lived placement daemon answering JSON-lines
+                    requests over a local socket (see repro.serve);
+* ``load``        — seeded many-tenant load generator against the
+                    daemon, reporting p50/p99 latency and req/s;
 * ``shard``       — plan/run/merge an experiment split across processes
                     or machines (file-based transport, see repro.shard);
 * ``trace``       — render the telemetry span tree of a run's JSONL
@@ -207,6 +211,64 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--workers", type=int, default=1,
                       help="replay policies on this many processes "
                            "(reports are worker-count independent; 0 = all CPUs)")
+    scen.add_argument("--max-events", type=int, default=None, metavar="N",
+                      help="truncate the materialized event stream to its first "
+                           "N events (untruncated prefixes replay identically)")
+    scen.add_argument("--no-oracle", action="store_true",
+                      help="skip the fresh-search oracle (regret reported as 0; "
+                           "pure-throughput replays)")
+
+    serve = sub.add_parser(
+        "serve", help="run the placement daemon (see repro.serve)"
+    )
+    serve.add_argument("--socket", default="runs/serve.sock",
+                       help="AF_UNIX socket path to listen on")
+    serve.add_argument("--agent", default=None, metavar="AGENT_NPZ",
+                       help="trained agent checkpoint to load once and serve "
+                            "as policy 'giph'")
+    serve.add_argument("--episode-multiplier", type=int, default=2,
+                       help="default search budget per re-placement, in units "
+                            "of the graph's task count")
+    serve.add_argument("--batch-wait-ms", type=float, default=2.0,
+                       help="request-batcher coalescing window")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="request-batcher batch size cap")
+    serve.add_argument("--oracle", action="store_true",
+                       help="sessions compute oracle/regret by default "
+                            "(requests may still override per session)")
+    serve.add_argument("--trace-log", default=None, metavar="PATH",
+                       help="telemetry JSONL written on shutdown "
+                            "(default: runs/trace/serve-<stamp>.jsonl; "
+                            "inspect with `repro trace`)")
+
+    load = sub.add_parser(
+        "load", help="drive the daemon with seeded many-tenant load (repro.serve.load)"
+    )
+    load.add_argument("--socket", default="runs/serve.sock",
+                      help="daemon socket path (start one with `repro serve`)")
+    load.add_argument("--scenario", action="append", dest="scenarios", metavar="NAME",
+                      help="scenario preset tenants replay, round-robin "
+                           "(repeatable; default: stable-cluster)")
+    load.add_argument("--policy", default="task-eft",
+                      help="policy every tenant's session runs")
+    load.add_argument("--clients", type=int, default=4,
+                      help="concurrent tenant sessions")
+    load.add_argument("--events", type=int, default=None, metavar="N",
+                      help="events per tenant (default: the full stream)")
+    load.add_argument("--seed", type=int, default=0,
+                      help="base seed; tenant i replays at seed+i")
+    load.add_argument("--client-backend", default="thread",
+                      choices=["thread", "fork", "inline"],
+                      help="how tenants fan out: threads (default), client "
+                           "processes, or serially")
+    load.add_argument("--compare-cold", action="store_true",
+                      help="also time a cold one-event `repro scenario run` "
+                           "subprocess and report the warm-p50 speedup")
+    load.add_argument("--bench-json", default=None, metavar="PATH",
+                      help="merge the summary into this BENCH json "
+                           "(e.g. results/BENCH_pr8.json)")
+    load.add_argument("--json", default=None, metavar="PATH",
+                      help="also write the full summary JSON to PATH")
 
     return parser
 
@@ -367,7 +429,22 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         return 2
     from .parallel import resolve_workers
 
-    runner = ScenarioRunner(spec, reuse_evaluators=not args.cold_evaluators)
+    source = spec
+    if args.max_events is not None:
+        import dataclasses
+
+        from .scenarios.events import materialize
+
+        if args.max_events < 0:
+            print("error: --max-events must be >= 0")
+            return 2
+        full = materialize(spec)
+        source = dataclasses.replace(full, events=full.events[: args.max_events])
+    runner = ScenarioRunner(
+        source,
+        reuse_evaluators=not args.cold_evaluators,
+        oracle=not args.no_oracle,
+    )
     materialized = runner.materialized
     print(f"scenario {spec.name!r} (seed {spec.seed}, objective {spec.objective}): "
           f"{materialized.num_events} events over {spec.num_steps} steps, "
@@ -400,6 +477,57 @@ def _scenario_policies(names: list[str]):
         "rnn-placer": RnnPlacerPolicy,
     }
     return {name: factories[name]() for name in dict.fromkeys(names)}
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.server import PlacementServer, ServeConfig, install_signal_handlers
+    from .telemetry import capture_run, write_run_log
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        episode_multiplier=args.episode_multiplier,
+        batch_wait_ms=args.batch_wait_ms,
+        max_batch=args.max_batch,
+        oracle=args.oracle,
+        agent_path=args.agent,
+    )
+    server = PlacementServer(config)
+    install_signal_handlers(server)
+    meta = {"command": "serve", "socket": args.socket}
+    with capture_run(meta) as capture:
+        server.serve_forever()
+    if capture.delta is not None:
+        stamp = time.strftime("%Y-%m-%d_%H-%M-%S")
+        path = (pathlib.Path(args.trace_log) if args.trace_log
+                else pathlib.Path("runs") / "trace" / f"serve-{stamp}.jsonl")
+        write_run_log(path, capture)
+        log.info(f"wrote telemetry log to {path} (inspect with: repro trace {path})")
+    log.info(f"repro serve: exited after {server.requests_served} request(s)")
+    return 0
+
+
+def cmd_load(args: argparse.Namespace) -> int:
+    from .serve.load import LoadConfig, format_load_summary, run_load
+
+    config = LoadConfig(
+        socket_path=args.socket,
+        scenarios=tuple(args.scenarios or ["stable-cluster"]),
+        policy=args.policy,
+        clients=args.clients,
+        events_per_client=args.events,
+        seed=args.seed,
+        backend=args.client_backend,
+        compare_cold=args.compare_cold,
+        bench_path=args.bench_json,
+    )
+    summary = run_load(config)
+    print(format_load_summary(summary))
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+        log.info(f"wrote load summary JSON to {path}")
+    return 0
 
 
 def _load_bench_files(results_dir: pathlib.Path) -> list[tuple[int, dict]]:
@@ -749,6 +877,8 @@ def main(argv: list[str] | None = None) -> int:
         "generate": cmd_generate,
         "experiment": cmd_experiment,
         "scenario": cmd_scenario,
+        "serve": cmd_serve,
+        "load": cmd_load,
         "shard": cmd_shard,
         "trace": cmd_trace,
         "bench": cmd_bench,

@@ -19,6 +19,7 @@ from .backends import (
     MergeBackend,
     MissingCellError,
     ShardBackend,
+    ThreadBackend,
     resolve_backend,
 )
 from .episodes import BatchContext, EpisodePayload, EpisodeRollout, rollout_episode
@@ -45,6 +46,7 @@ __all__ = [
     "MergeBackend",
     "MissingCellError",
     "ShardBackend",
+    "ThreadBackend",
     "resolve_backend",
     "BatchContext",
     "EpisodePayload",

@@ -48,6 +48,7 @@ __all__ = [
     "MergeBackend",
     "MissingCellError",
     "ShardBackend",
+    "ThreadBackend",
     "resolve_backend",
 ]
 
@@ -142,6 +143,52 @@ class ForkBackend(_PoolBackend):
 
     def __init__(self, workers: int | None = None) -> None:
         super().__init__(workers=resolve_workers(workers))
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution for I/O-bound fan-outs.
+
+    Fork workers pay a process per slot and pickle the context per
+    pool — the right trade for CPU-bound cells, the wrong one for tasks
+    that spend their time blocked on I/O (the shape of `repro load`'s
+    tenants: socket clients waiting on the daemon).  Threads share the
+    process, so concurrency is real exactly where the GIL is released
+    (socket reads), and telemetry records directly into the live
+    collector (thread-local span paths keep the trees nested).
+
+    The determinism contract carries over — a task derives randomness
+    from its payload identity — with one sharpening: the broadcast
+    ``context`` is **shared between tasks, not copied**, so thread
+    tasks must treat it as read-only.
+    """
+
+    name = "thread"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = resolve_workers(workers)
+
+    def fanout(
+        self, fn: Callable[[Any], _T], payloads: Iterable[Any], context: Any = None
+    ) -> list[_T]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        from . import pool as _pool
+
+        items = list(payloads)
+        if not items:
+            return []
+        saved = _pool._CONTEXT  # reentrant, like the inline pool path
+        _pool._CONTEXT = context
+        try:
+            count = min(self.workers, len(items))
+            if count == 1:
+                return [fn(item) for item in items]
+            with ThreadPoolExecutor(
+                max_workers=count, thread_name_prefix="repro-thread-backend"
+            ) as executor:
+                return list(executor.map(fn, items))
+        finally:
+            _pool._CONTEXT = saved
 
 
 class _StoreBackend(ExecutionBackend):

@@ -33,7 +33,7 @@ from ..sim.objectives import MakespanObjective, Objective
 from ..telemetry import metrics, span, traced
 from .fastsim import FastSimulator
 
-__all__ = ["EvaluatorStats", "PlacementEvaluator", "EvaluatorPool"]
+__all__ = ["EvaluatorStats", "PlacementEvaluator", "EvaluatorPool", "coalesce_evaluate"]
 
 
 @dataclass
@@ -259,6 +259,34 @@ class PlacementEvaluator:
         """Drop cached values/timelines (stats are kept)."""
         self._values.clear()
         self._timelines.clear()
+
+
+def coalesce_evaluate(
+    requests: Sequence[tuple[PlacementEvaluator, Sequence[int]]],
+) -> list[float]:
+    """Score mixed-evaluator requests through one batch per evaluator.
+
+    The request-batching primitive of the serve runtime: concurrent
+    requests against the same (problem, objective) coalesce into a
+    single :meth:`PlacementEvaluator.evaluate_many` call (one fast-path
+    cost realization instead of N), while requests against different
+    problems stay independent.  Values come back in request order and
+    are identical to calling ``evaluator.evaluate(placement)`` one by
+    one — batching changes speed, never values.
+    """
+    groups: dict[int, tuple[PlacementEvaluator, list[int], list[Sequence[int]]]] = {}
+    for i, (evaluator, placement) in enumerate(requests):
+        entry = groups.get(id(evaluator))
+        if entry is None:
+            groups[id(evaluator)] = entry = (evaluator, [], [])
+        entry[1].append(i)
+        entry[2].append(placement)
+    out = [0.0] * len(requests)
+    for evaluator, indices, placements in groups.values():
+        values = evaluator.evaluate_many(placements)
+        for i, value in zip(indices, values):
+            out[i] = float(value)
+    return out
 
 
 class EvaluatorPool:

@@ -21,22 +21,22 @@ index)`` and all oracle randomness from ``(spec.seed, oracle key, event
 index, graph index)``, so a report is bit-identical across replays,
 independent of which other policies run alongside, and independent of
 how many workers the oracle's events fan out over.
+
+The per-event state machine itself lives in
+:mod:`repro.serve.session` (:class:`~repro.serve.session.PlacementSession`)
+so the ``repro serve`` daemon drives the same code; this module keeps
+the batch orchestration — oracle series, policy fan-out, grids.  The
+session import is deferred to call time because the serve package
+imports scenario submodules (deferral breaks the package cycle).
 """
 
 from __future__ import annotations
 
-import time
-import zlib
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import numpy as np
-
 from ..baselines.base import SearchPolicy
-from ..baselines.heft import heft_placement
-from ..baselines.random_policies import RandomTaskEftPolicy
-from ..core.placement import PlacementProblem, random_placement
-from ..devices.network import DeviceNetwork
+from ..core.placement import PlacementProblem
 from ..parallel.backends import (
     ExecutionBackend,
     ForkBackend,
@@ -44,28 +44,20 @@ from ..parallel.backends import (
     resolve_backend,
 )
 from ..parallel.pool import get_context as pool_context
-from ..runtime.evaluator import EvaluatorPool, EvaluatorStats, PlacementEvaluator
-from ..sim.metrics import cp_min_lower_bound
-from ..sim.objectives import MakespanObjective, Objective
-from ..sim.relocation import RelocationCostModel, TaskRelocationProfile
-from ..telemetry import DeltaTracker, metrics, span
+from ..runtime.evaluator import EvaluatorPool, PlacementEvaluator
+from ..sim.objectives import Objective
+from ..sim.relocation import RelocationCostModel
 from .events import MaterializedScenario, ScenarioEvent, materialize
-from .report import AdaptationReport, StepRecord
+from .report import AdaptationReport
 from .spec import ScenarioSpec
 
 __all__ = ["ScenarioRunner", "ScenarioResult", "replay_scenarios"]
 
-_ORACLE_KEY = zlib.crc32(b"__fresh-search-oracle__")
 
+def _session_mod():
+    from ..serve import session
 
-def _policy_key(name: str) -> int:
-    """Stable (non-salted) integer key for a policy name."""
-    return zlib.crc32(name.encode("utf-8"))
-
-
-def _uid_placement(placement: Sequence[int], network: DeviceNetwork) -> tuple[int, ...]:
-    """Dense device indices -> stable device uids."""
-    return tuple(network.devices[d].uid for d in placement)
+    return session
 
 
 @dataclass(frozen=True)
@@ -116,46 +108,19 @@ class ScenarioRunner:
         self.reuse_evaluators = reuse_evaluators
         self.oracle = oracle
         self._oracle_cache: list[float] | None = None
-        self._profile = TaskRelocationProfile(
-            migration_bytes=self.spec.relocation.migration_bytes,
-            static_init_kbytes=self.spec.relocation.static_init_kbytes,
-            startup_ms_by_type={"generic": self.spec.relocation.startup_ms},
-        )
 
-    # -- building blocks ---------------------------------------------------------
+    # -- building blocks (delegating to repro.serve.session) ---------------------
 
     def _relocation_model(self, network: DeviceNetwork) -> RelocationCostModel:
-        return RelocationCostModel(
-            {"task": self._profile},
-            {d.uid: "generic" for d in network.devices},
-            include_static_init=self.spec.relocation.include_static_init,
-        )
+        return _session_mod().relocation_model(self.spec, network)
 
     def _denominator(self, problem: PlacementProblem, objective: Objective) -> float:
-        if isinstance(objective, MakespanObjective):
-            return cp_min_lower_bound(problem.cost_model)
-        return 1.0
+        return _session_mod().slr_denominator(problem, objective)
 
     def _repair(
         self, prev_uids: Sequence[int] | None, problem: PlacementProblem
     ) -> tuple[int, ...]:
-        """Carry a uid placement onto ``problem``'s (possibly new) network.
-
-        Tasks whose device survived keep it; stranded tasks fall back to
-        their fastest feasible device (deterministic, so replays agree).
-        """
-        network, w = problem.network, problem.cost_model.W
-        out = []
-        for task, feasible in enumerate(problem.feasible_sets):
-            dense: int | None = None
-            if prev_uids is not None and prev_uids[task] in network:
-                candidate = network.index_of(prev_uids[task])
-                if candidate in feasible:
-                    dense = candidate
-            if dense is None:
-                dense = int(min(feasible, key=lambda d: w[task, d]))
-            out.append(dense)
-        return tuple(out)
+        return _session_mod().repair_placement(prev_uids, problem)
 
     def _migration(
         self,
@@ -164,21 +129,9 @@ class ScenarioRunner:
         network: DeviceNetwork,
         model: RelocationCostModel,
     ) -> tuple[int, float]:
-        """(moved task count, total migration ms) between two placements."""
-        if prev_uids is None:
-            return 0, 0.0  # initial placement: deployment, not migration
-        moved, cost = 0, 0.0
-        for old, new in zip(prev_uids, new_uids):
-            if old == new:
-                continue
-            moved += 1
-            if old in network:
-                cost += model.cost_ms("task", network, old, new)
-            else:
-                # Source device left the cluster: state is lost, only the
-                # target startup is payable.
-                cost += self.spec.relocation.startup_ms
-        return moved, cost
+        return _session_mod().migration_cost(
+            prev_uids, new_uids, network, model, self.spec.relocation.startup_ms
+        )
 
     def _evaluator(
         self, pool: EvaluatorPool | None, problem: PlacementProblem, objective: Objective
@@ -190,25 +143,11 @@ class ScenarioRunner:
     def _replay_state(self):
         """Advance cluster/workload state event by event.
 
-        Yields ``(None, problems, network)`` for the initial state, then
-        ``(event, problems, network)`` per event — the single source of
-        truth for how events transform state, shared by the oracle and
-        the policy replay so the two can never disagree on it.  Problem
-        objects keep their identity across events that leave the network
-        untouched (what makes :class:`EvaluatorPool` reuse pay off).
+        See :func:`repro.serve.session.scenario_states` — the single
+        source of truth shared by the oracle, the policy replay, and
+        the serving sessions.
         """
-        graphs = list(self.materialized.initial_graphs)
-        network = self.materialized.initial_network
-        problems = [PlacementProblem(g, network) for g in graphs]
-        yield None, problems, network
-        for event in self.materialized.events:
-            if event.kind == "arrival":
-                graphs.append(event.graph)
-                problems.append(PlacementProblem(event.graph, network))
-            else:
-                network = event.network
-                problems = [PlacementProblem(g, network) for g in graphs]
-            yield event, problems, network
+        return _session_mod().scenario_states(self.materialized)
 
     # -- oracle ------------------------------------------------------------------
 
@@ -219,35 +158,10 @@ class ScenarioRunner:
         objective: Objective,
         pool: EvaluatorPool | None,
     ) -> float:
-        """Oracle SLR of one event: mean over its active graphs.
-
-        Each (event, graph) pair draws from its own stream
-        ``default_rng([seed, _ORACLE_KEY, event.index, graph_index])``,
-        so the oracle value of an event is a pure function of that
-        event's identity — the property that lets events fan out over
-        workers (and keeps graph ``j``'s oracle independent of how many
-        graphs arrived before it).
-        """
-        searcher = RandomTaskEftPolicy()
-        slrs = []
-        with span("scenario.oracle"):
-            for graph_index, problem in enumerate(problems):
-                rng = np.random.default_rng(
-                    [self.spec.seed, _ORACLE_KEY, event.index, graph_index]
-                )
-                evaluator = self._evaluator(pool, problem, objective)
-                heft_value = evaluator.evaluate(heft_placement(problem).placement)
-                trace = searcher.search(
-                    problem,
-                    objective,
-                    random_placement(problem, rng),
-                    self.episode_multiplier * problem.graph.num_tasks,
-                    rng,
-                    evaluator=evaluator,
-                )
-                denom = self._denominator(problem, objective)
-                slrs.append(min(heft_value, trace.best_value) / denom)
-        return float(np.mean(slrs))
+        """Oracle SLR of one event (see :func:`repro.serve.session.oracle_event_slr`)."""
+        return _session_mod().oracle_event_slr(
+            event, problems, objective, pool, self.spec.seed, self.episode_multiplier
+        )
 
     def _oracle_slr(
         self, workers: int = 1, backend: ExecutionBackend | None = None
@@ -346,100 +260,16 @@ class ScenarioRunner:
     def _run_policy(
         self, name: str, policy: SearchPolicy, oracle_slr: Sequence[float]
     ) -> AdaptationReport:
-        spec = self.spec
-        objective = spec.make_objective()
-        key = _policy_key(name)
-        pool = EvaluatorPool(objective) if self.reuse_evaluators else None
-        cold_stats = EvaluatorStats()  # aggregate when evaluators are per-event
-        tracker = DeltaTracker(EvaluatorStats().as_dict())
-
-        state = self._replay_state()
-        _, problems, network = next(state)
-        model = self._relocation_model(network)
-
-        # Initial deployment: a shared random placement per graph, the
-        # state every event adapts from.
-        init_rng = np.random.default_rng([spec.seed, key, 0])
-        placements: list[tuple[int, ...] | None] = [
-            _uid_placement(random_placement(p, init_rng), network) for p in problems
-        ]
-
-        steps: list[StepRecord] = []
-        for event, problems, network in state:
-            began = time.perf_counter()
-            adapt = getattr(policy, "adapt", None)
-            if callable(adapt):
-                with span("scenario.adapt"):
-                    adapt(event)
-            if event.kind == "arrival":
-                placements.append(None)
-            else:
-                model = self._relocation_model(network)
-
-            rng = np.random.default_rng([spec.seed, key, 1 + event.index])
-            values, slrs = [], []
-            moved_total, cost_total = 0, 0.0
-            for i, problem in enumerate(problems):
-                evaluator = self._evaluator(pool, problem, objective)
-                initial = self._repair(placements[i], problem)
-                with span("scenario.search"):
-                    trace = policy.search(
-                        problem,
-                        objective,
-                        initial,
-                        self.episode_multiplier * problem.graph.num_tasks,
-                        rng,
-                        evaluator=evaluator,
-                    )
-                new_uids = _uid_placement(trace.best_placement, network)
-                with span("scenario.migrate"):
-                    moved, cost = self._migration(placements[i], new_uids, network, model)
-                placements[i] = new_uids
-                moved_total += moved
-                cost_total += cost
-                values.append(trace.best_value)
-                slrs.append(trace.best_value / self._denominator(problem, objective))
-                if pool is None:
-                    cold_stats.merge(evaluator.stats)
-
-            elapsed = time.perf_counter() - began
-            total = pool.stats() if pool is not None else cold_stats
-            step_delta = tracker.delta(total.as_dict())
-            evaluations = int(step_delta.get("evaluations", 0))
-            looked_up = step_delta.get("cache_hits", 0) + step_delta.get("cache_misses", 0)
-            hit_rate = step_delta.get("cache_hits", 0) / looked_up if looked_up else 0.0
-            frequency = spec.relocation.pipeline_frequency_hz
-            steps.append(
-                StepRecord(
-                    index=event.index,
-                    step=event.step,
-                    kind=event.kind,
-                    num_graphs=len(problems),
-                    num_devices=network.num_devices,
-                    mean_value=float(np.mean(values)),
-                    mean_slr=float(np.mean(slrs)),
-                    oracle_slr=float(oracle_slr[event.index]),
-                    # Without an oracle there is nothing to regret against.
-                    regret=float(np.mean(slrs) - oracle_slr[event.index]) if self.oracle else 0.0,
-                    migrated_tasks=moved_total,
-                    migration_cost_ms=cost_total,
-                    amortized_migration_ms=cost_total / frequency if frequency else cost_total,
-                    replace_seconds=elapsed,
-                    evaluations=evaluations,
-                    cache_hit_rate=hit_rate,
-                )
-            )
-
-        final_stats = pool.stats() if pool is not None else cold_stats
-        metrics().absorb("scenario.evaluator", final_stats.as_dict(), skip=("hit_rate",))
-        return AdaptationReport(
-            scenario=spec.name,
-            policy=name,
-            seed=spec.seed,
-            objective=spec.objective,
-            steps=tuple(steps),
-            evaluator_stats=final_stats.as_dict(),
+        session = _session_mod().PlacementSession(
+            self.materialized,
+            name,
+            policy,
+            episode_multiplier=self.episode_multiplier,
+            reuse_evaluators=self.reuse_evaluators,
+            oracle=self.oracle,
+            oracle_slr=oracle_slr,
         )
+        return session.run()
 
 
 # -- parallel fan-out ---------------------------------------------------------------

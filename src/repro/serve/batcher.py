@@ -1,0 +1,157 @@
+"""Request batcher: concurrent evaluate requests -> one ``evaluate_many``.
+
+Connection threads :meth:`RequestBatcher.submit` individual
+``(evaluator, placement)`` requests and block; a single drain thread
+collects whatever accumulated within a short coalescing window and
+scores it through :func:`repro.runtime.evaluator.coalesce_evaluate` —
+same-evaluator requests become one :meth:`evaluate_many` batch (one
+vectorized fast-path cost realization instead of N scalar calls).
+
+Routing every evaluation through one drain thread is also what makes
+the server's shared :class:`EvaluatorPool` safe without per-evaluator
+locks: connection threads never touch evaluator caches, they only wait
+on their request's event.  Batching changes speed, never values — the
+batcher equivalence test pins ``submit`` results against direct
+``evaluate`` calls.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from ..runtime.evaluator import PlacementEvaluator, coalesce_evaluate
+from ..telemetry import metrics, span
+
+__all__ = ["RequestBatcher"]
+
+
+class _Pending:
+    __slots__ = ("evaluator", "placement", "value", "error", "done")
+
+    def __init__(self, evaluator: PlacementEvaluator, placement: Sequence[int]) -> None:
+        self.evaluator = evaluator
+        self.placement = placement
+        self.value: float | None = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+
+
+class RequestBatcher:
+    """Coalesce concurrent scoring requests through ``evaluate_many``.
+
+    Parameters
+    ----------
+    max_wait_ms: how long the drain thread lingers after the first
+        request of a batch to let concurrent requests pile in.  ``0``
+        drains immediately (whatever is queued still coalesces).
+    max_batch: upper bound on requests drained per batch.
+    """
+
+    def __init__(self, max_wait_ms: float = 2.0, max_batch: int = 256) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_wait_ms = max(0.0, float(max_wait_ms))
+        self.max_batch = max_batch
+        self._cond = threading.Condition()
+        self._queue: list[_Pending] = []
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+        self.requests = 0
+        self.batches = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "RequestBatcher":
+        if self._thread is None:
+            self._stopping = False
+            self._thread = threading.Thread(
+                target=self._drain_loop, name="repro-serve-batcher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain everything queued, then stop the drain thread."""
+        thread = self._thread
+        if thread is None:
+            return
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        thread.join(timeout=30.0)
+        self._thread = None
+
+    def __enter__(self) -> "RequestBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request side ------------------------------------------------------------
+
+    def submit(self, evaluator: PlacementEvaluator, placement: Sequence[int]) -> float:
+        """Score one placement; blocks until its batch completes."""
+        return self.submit_many(evaluator, [placement])[0]
+
+    def submit_many(
+        self, evaluator: PlacementEvaluator, placements: Sequence[Sequence[int]]
+    ) -> list[float]:
+        """Score several placements, enqueued together (one wait, not N)."""
+        if self._thread is None:
+            raise RuntimeError("RequestBatcher is not started")
+        pendings = [_Pending(evaluator, p) for p in placements]
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("RequestBatcher is stopping")
+            self._queue.extend(pendings)
+            self.requests += len(pendings)
+            self._cond.notify_all()
+        out = []
+        for pending in pendings:
+            pending.done.wait()
+            if pending.error is not None:
+                raise pending.error
+            assert pending.value is not None
+            out.append(pending.value)
+        return out
+
+    # -- drain side --------------------------------------------------------------
+
+    def _take_batch(self) -> list[_Pending] | None:
+        """Next batch (ordered by arrival), or ``None`` to shut down."""
+        with self._cond:
+            while not self._queue and not self._stopping:
+                self._cond.wait()
+            if not self._queue:
+                return None  # stopping with an empty queue
+            if self.max_wait_ms and not self._stopping:
+                # Linger once: let concurrent requests coalesce into
+                # this batch.  A second wait would trade latency for
+                # marginal batching, so the window is a single interval.
+                if len(self._queue) < self.max_batch:
+                    self._cond.wait(timeout=self.max_wait_ms / 1000.0)
+            batch = self._queue[: self.max_batch]
+            del self._queue[: len(batch)]
+            return batch
+
+    def _drain_loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            self.batches += 1
+            metrics().histogram("serve.batch_size").observe(len(batch))
+            try:
+                with span("serve.batch"):
+                    values = coalesce_evaluate(
+                        [(p.evaluator, p.placement) for p in batch]
+                    )
+            except BaseException as error:  # noqa: BLE001 - shipped to waiters
+                for pending in batch:
+                    pending.error = error
+                    pending.done.set()
+                continue
+            for pending, value in zip(batch, values):
+                pending.value = value
+                pending.done.set()

@@ -1,0 +1,261 @@
+"""``repro load``: seeded many-tenant load generation against the daemon.
+
+Each tenant is one client connection replaying one scenario preset's
+event stream as a sequence of ``event`` requests against its own
+:class:`PlacementSession` — the serving analogue of a batch scenario
+replay, with per-request wall-clock measured client-side.  Tenants fan
+out over the :class:`~repro.parallel.backends.ExecutionBackend` seam:
+the default ``thread`` backend gives real concurrency for this
+I/O-bound shape, ``fork`` runs tenants as separate client processes,
+``inline`` serializes them (a closed-loop baseline).
+
+Everything is seeded: tenant *i* replays
+``scenarios[i % len(scenarios)]`` at seed ``seed + i``, so a load run
+is reproducible and every tenant's placements are bit-identical to the
+corresponding batch replay.
+
+The summary reports p50/p99/mean request latency and sustained
+requests/sec, and (with ``bench_path``) merges a record into
+``results/BENCH_pr8.json`` in the same shape as the pytest benchmark
+harness, so ``repro bench report`` tracks serving latency across PRs.
+With ``compare_cold`` the same single-event placement is also run as a
+cold ``repro scenario run`` subprocess — the batch-stack cost a warm
+request avoids — and the p50 speedup against it is recorded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..parallel.backends import (
+    ExecutionBackend,
+    ForkBackend,
+    InlineBackend,
+    ThreadBackend,
+)
+from ..parallel.pool import get_context as pool_context
+from ..telemetry import log
+from .client import ServeClient
+
+__all__ = ["LoadConfig", "LoadContext", "run_load", "format_load_summary"]
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load run (the ``repro load`` flags)."""
+
+    socket_path: str
+    scenarios: tuple[str, ...] = ("stable-cluster",)
+    policy: str = "task-eft"
+    clients: int = 4
+    events_per_client: int | None = None  # None = each tenant's full stream
+    seed: int = 0
+    backend: str = "thread"  # thread | fork | inline
+    oracle: bool = False
+    compare_cold: bool = False
+    bench_path: str | None = None
+    bench_name: str = "serve_request_latency"
+
+
+@dataclass(frozen=True)
+class LoadContext:
+    """Broadcast payload for tenant tasks (read-only under threads)."""
+
+    socket_path: str
+    policy: str
+    scenarios: tuple[str, ...]
+    seed: int
+    events_per_client: int | None
+    oracle: bool
+
+
+def _run_tenant(index: int) -> dict[str, Any]:
+    """One tenant: open a session, request every event, measure each."""
+    ctx: LoadContext = pool_context()
+    scenario = ctx.scenarios[index % len(ctx.scenarios)]
+    seed = ctx.seed + index
+    latencies_ms: list[float] = []
+    with ServeClient(ctx.socket_path) as client:
+        opened = client.open_session(
+            scenario,
+            policy=ctx.policy,
+            seed=seed,
+            oracle=ctx.oracle,
+            max_events=ctx.events_per_client,
+        )
+        session = opened["session"]
+        remaining = int(opened["events"])
+        while remaining:
+            began = time.perf_counter()
+            response = client.event(session)
+            latencies_ms.append((time.perf_counter() - began) * 1000.0)
+            remaining = int(response["remaining"])
+        client.close_session(session)
+    return {
+        "tenant": index,
+        "scenario": scenario,
+        "seed": seed,
+        "latencies_ms": latencies_ms,
+    }
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (no interpolation; stable for small N)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(round(q * (len(sorted_values) - 1)))))
+    return float(sorted_values[rank])
+
+
+def _resolve_backend(name: str, clients: int) -> ExecutionBackend:
+    if name == "thread":
+        return ThreadBackend(clients)
+    if name == "fork":
+        return ForkBackend(clients)
+    if name == "inline":
+        return InlineBackend()
+    raise ValueError(f"unknown load backend {name!r} (thread | fork | inline)")
+
+
+def _cold_single_event_seconds(config: LoadConfig) -> float:
+    """Wall-clock of a cold one-event ``repro scenario run`` subprocess.
+
+    This is the startup bill every placement paid before the daemon
+    existed: fresh interpreter, imports, materialization, cold caches —
+    for the same single event a warm request serves in milliseconds.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "scenario",
+        "run",
+        config.scenarios[0],
+        "--policy",
+        config.policy,
+        "--seed",
+        str(config.seed),
+        "--max-events",
+        "1",
+        "--no-oracle",
+    ]
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    began = time.perf_counter()
+    result = subprocess.run(command, env=env, capture_output=True, text=True)
+    elapsed = time.perf_counter() - began
+    if result.returncode != 0:
+        raise RuntimeError(
+            f"cold comparison run failed ({result.returncode}): {result.stderr[-500:]}"
+        )
+    return elapsed
+
+
+def run_load(config: LoadConfig) -> dict[str, Any]:
+    """Drive the daemon with ``config.clients`` tenants; return the summary."""
+    if config.clients < 1:
+        raise ValueError("clients must be >= 1")
+    if not config.scenarios:
+        raise ValueError("need at least one scenario preset")
+    backend = _resolve_backend(config.backend, config.clients)
+    context = LoadContext(
+        socket_path=config.socket_path,
+        policy=config.policy,
+        scenarios=tuple(config.scenarios),
+        seed=config.seed,
+        events_per_client=config.events_per_client,
+        oracle=config.oracle,
+    )
+    log.info(
+        f"repro load: {config.clients} client(s) x "
+        f"{config.events_per_client if config.events_per_client is not None else 'all'}"
+        f" event(s) over {', '.join(config.scenarios)} "
+        f"[policy {config.policy}, backend {config.backend}]"
+    )
+    began = time.perf_counter()
+    tenants = backend.fanout(_run_tenant, range(config.clients), context)
+    wall_s = time.perf_counter() - began
+
+    latencies = sorted(ms for t in tenants for ms in t["latencies_ms"])
+    requests = len(latencies)
+    summary: dict[str, Any] = {
+        "clients": config.clients,
+        "scenarios": list(config.scenarios),
+        "policy": config.policy,
+        "backend": config.backend,
+        "seed": config.seed,
+        "requests": requests,
+        "wall_seconds": round(wall_s, 4),
+        "requests_per_second": round(requests / wall_s, 2) if wall_s > 0 else 0.0,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50), 3),
+            "p99": round(_percentile(latencies, 0.99), 3),
+            "mean": round(sum(latencies) / requests, 3) if requests else 0.0,
+            "max": round(latencies[-1], 3) if requests else 0.0,
+        },
+    }
+    if config.compare_cold:
+        cold_s = _cold_single_event_seconds(config)
+        summary["cold_single_event_seconds"] = round(cold_s, 4)
+        p50_s = summary["latency_ms"]["p50"] / 1000.0
+        summary["warm_speedup_vs_cold"] = round(cold_s / p50_s, 1) if p50_s > 0 else 0.0
+    if config.bench_path:
+        _record_bench(pathlib.Path(config.bench_path), config.bench_name, summary)
+    return summary
+
+
+def _record_bench(path: pathlib.Path, name: str, summary: dict[str, Any]) -> None:
+    """Merge the load summary into a BENCH json (conftest-compatible)."""
+    benchmarks: dict[str, Any] = {}
+    if path.exists():
+        try:
+            benchmarks = json.loads(path.read_text()).get("benchmarks", {})
+        except (json.JSONDecodeError, AttributeError):
+            benchmarks = {}
+    record = {
+        # The headline seconds is the p50 request latency: the user-facing
+        # number every later serving PR should move.
+        "seconds": round(summary["latency_ms"]["p50"] / 1000.0, 6),
+        "scale": os.environ.get("REPRO_SCALE", "quick"),
+        "p50_ms": summary["latency_ms"]["p50"],
+        "p99_ms": summary["latency_ms"]["p99"],
+        "requests_per_second": summary["requests_per_second"],
+        "requests": summary["requests"],
+        "clients": summary["clients"],
+    }
+    if "cold_single_event_seconds" in summary:
+        record["cold_single_event_seconds"] = summary["cold_single_event_seconds"]
+        record["warm_speedup_vs_cold"] = summary["warm_speedup_vs_cold"]
+    benchmarks[name] = record
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"schema": 1, "benchmarks": dict(sorted(benchmarks.items()))}
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    log.info(f"repro load: recorded {name!r} into {path}")
+
+
+def format_load_summary(summary: dict[str, Any]) -> str:
+    lat = summary["latency_ms"]
+    lines = [
+        f"load: {summary['requests']} requests from {summary['clients']} client(s) "
+        f"in {summary['wall_seconds']:.2f}s "
+        f"({summary['requests_per_second']:.1f} req/s)",
+        f"  latency: p50 {lat['p50']:.2f} ms, p99 {lat['p99']:.2f} ms, "
+        f"mean {lat['mean']:.2f} ms, max {lat['max']:.2f} ms",
+    ]
+    if "cold_single_event_seconds" in summary:
+        lines.append(
+            f"  cold single-event scenario run: "
+            f"{summary['cold_single_event_seconds']:.2f} s "
+            f"-> warm p50 is {summary['warm_speedup_vs_cold']:.0f}x faster"
+        )
+    return "\n".join(lines)

@@ -32,15 +32,26 @@ task spans are recorded relative to the task root — and ships the
 resulting :class:`TaskDelta` home in the task result, where
 :func:`merge_task_delta` grafts it under the parent's current span path.
 Inline execution records straight into the live collector, so the merged
-span tree is identical at any worker count (timings aside).  The spans
-of a single-threaded process nest strictly, which is all the path stack
-assumes.
+span tree is identical at any worker count (timings aside).
+
+Cross-thread capture
+--------------------
+The path stack is **thread-local**: the spans of each thread nest among
+themselves only.  The batch stack is single-threaded so this changes
+nothing there, but the serve daemon (:mod:`repro.serve`) handles
+requests on concurrent threads — without per-thread paths, interleaved
+requests would graft their inner spans under whichever path another
+thread happened to be inside, yielding a garbled flat tree instead of
+per-request ``serve.request/...`` groups.  Aggregates and raw events
+stay process-wide (all threads accumulate into one stats dict, which is
+what the run log writes).
 """
 
 from __future__ import annotations
 
 import functools
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -85,11 +96,12 @@ class SpanStat:
 
 
 class _Collector:
-    """Process-wide span sink (single-threaded by construction)."""
+    """Process-wide span sink with a thread-local path stack."""
 
     __slots__ = (
         "enabled",
-        "path",
+        "_local",
+        "lock",
         "stats",
         "events",
         "max_events",
@@ -99,12 +111,22 @@ class _Collector:
 
     def __init__(self) -> None:
         self.enabled = _env_enabled()
-        self.path = ""
+        self._local = threading.local()
+        self.lock = threading.Lock()
         self.stats: dict[str, SpanStat] = {}
         self.events: list[tuple[str, float, float, int]] = []
         self.max_events = 50_000
         self.events_dropped = 0
         self.event_min_s = 0.0005
+
+    @property
+    def path(self) -> str:
+        """This thread's current span path (each thread nests its own)."""
+        return getattr(self._local, "path", "")
+
+    @path.setter
+    def path(self, value: str) -> None:
+        self._local.path = value
 
 
 _COLLECTOR = _Collector()
@@ -152,16 +174,17 @@ class _Span:
         duration = time.perf_counter() - self._began
         col = _COLLECTOR
         path = col.path
-        stat = col.stats.get(path)
-        if stat is None:
-            col.stats[path] = stat = SpanStat()
-        stat.calls += 1
-        stat.seconds += duration
-        if duration >= col.event_min_s:
-            if len(col.events) < col.max_events:
-                col.events.append((path, self._began, duration, os.getpid()))
-            else:
-                col.events_dropped += 1
+        with col.lock:
+            stat = col.stats.get(path)
+            if stat is None:
+                col.stats[path] = stat = SpanStat()
+            stat.calls += 1
+            stat.seconds += duration
+            if duration >= col.event_min_s:
+                if len(col.events) < col.max_events:
+                    col.events.append((path, self._began, duration, os.getpid()))
+                else:
+                    col.events_dropped += 1
         col.path = self._saved
         return False
 
@@ -288,18 +311,19 @@ def merge_task_delta(delta: TaskDelta | None, prefix: str | None = None) -> None
         return
     if prefix is None:
         prefix = col.path
-    for rel, (calls, seconds) in delta.spans.items():
-        path = f"{prefix}/{rel}" if prefix else rel
-        stat = col.stats.get(path)
-        if stat is None:
-            col.stats[path] = stat = SpanStat()
-        stat.calls += calls
-        stat.seconds += seconds
-    for rel, began, duration, pid in delta.events:
-        path = f"{prefix}/{rel}" if prefix else rel
-        if len(col.events) < col.max_events:
-            col.events.append((path, began, duration, pid))
-        else:
-            col.events_dropped += 1
-    col.events_dropped += delta.events_dropped
+    with col.lock:
+        for rel, (calls, seconds) in delta.spans.items():
+            path = f"{prefix}/{rel}" if prefix else rel
+            stat = col.stats.get(path)
+            if stat is None:
+                col.stats[path] = stat = SpanStat()
+            stat.calls += calls
+            stat.seconds += seconds
+        for rel, began, duration, pid in delta.events:
+            path = f"{prefix}/{rel}" if prefix else rel
+            if len(col.events) < col.max_events:
+                col.events.append((path, began, duration, pid))
+            else:
+                col.events_dropped += 1
+        col.events_dropped += delta.events_dropped
     _metrics.metrics().merge_snapshot(delta.metrics)

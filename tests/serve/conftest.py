@@ -1,0 +1,27 @@
+"""Shared serve-test plumbing: short socket paths and a live daemon.
+
+AF_UNIX socket paths are capped around 100 chars, and pytest's
+``tmp_path`` can blow past that on deep test names — sockets go in a
+dedicated short tempdir instead.
+"""
+
+import pathlib
+import tempfile
+
+import pytest
+
+
+@pytest.fixture()
+def socket_path():
+    with tempfile.TemporaryDirectory(prefix="repro-serve-", dir="/tmp") as tmp:
+        yield str(pathlib.Path(tmp) / "serve.sock")
+
+
+@pytest.fixture()
+def server(socket_path):
+    from repro.serve.server import PlacementServer, ServeConfig
+
+    server = PlacementServer(ServeConfig(socket_path=socket_path))
+    server.start()
+    yield server
+    server.stop()

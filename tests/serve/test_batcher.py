@@ -1,0 +1,122 @@
+"""RequestBatcher: coalescing, value fidelity, and error propagation."""
+
+import threading
+
+import pytest
+
+from repro.core.placement import PlacementProblem
+from repro.runtime.evaluator import (
+    EvaluatorPool,
+    PlacementEvaluator,
+    coalesce_evaluate,
+)
+from repro.scenarios import DEFAULT_REGISTRY, materialize
+from repro.serve.batcher import RequestBatcher
+
+
+@pytest.fixture(scope="module")
+def problem():
+    mat = materialize(DEFAULT_REGISTRY.get("stable-cluster", seed=0))
+    return PlacementProblem(mat.initial_graphs[0], mat.initial_network)
+
+
+@pytest.fixture(scope="module")
+def objective():
+    return DEFAULT_REGISTRY.get("stable-cluster", seed=0).make_objective()
+
+
+def placements_for(problem, count):
+    sets = problem.feasible_sets
+    return [
+        tuple(s[(i + rank) % len(s)] for i, s in enumerate(sets))
+        for rank in range(count)
+    ]
+
+
+class TestCoalesce:
+    def test_groups_by_evaluator_and_preserves_order(self, problem, objective):
+        ev_a = PlacementEvaluator(problem, objective)
+        ev_b = PlacementEvaluator(problem, objective)
+        ps = placements_for(problem, 4)
+        requests = [(ev_a, ps[0]), (ev_b, ps[1]), (ev_a, ps[2]), (ev_b, ps[3])]
+        values = coalesce_evaluate(requests)
+        direct = [float(ev.evaluate(p)) for ev, p in requests]
+        assert values == direct
+
+    def test_empty_input(self):
+        assert coalesce_evaluate([]) == []
+
+
+class TestBatcher:
+    def test_values_match_direct_evaluation(self, problem, objective):
+        reference = PlacementEvaluator(problem, objective)
+        ps = placements_for(problem, 6)
+        expected = [float(reference.evaluate(p)) for p in ps]
+        served = PlacementEvaluator(problem, objective)
+        with RequestBatcher(max_wait_ms=1.0) as batcher:
+            values = batcher.submit_many(served, ps)
+        assert values == expected
+
+    def test_concurrent_submitters_coalesce(self, problem, objective):
+        evaluator = PlacementEvaluator(problem, objective)
+        reference = PlacementEvaluator(problem, objective)
+        ps = placements_for(problem, 8)
+        expected = {p: float(reference.evaluate(p)) for p in ps}
+        results = {}
+        lock = threading.Lock()
+        with RequestBatcher(max_wait_ms=20.0) as batcher:
+            barrier = threading.Barrier(len(ps))
+
+            def submit(p):
+                barrier.wait()
+                value = batcher.submit(evaluator, p)
+                with lock:
+                    results[p] = value
+
+            threads = [threading.Thread(target=submit, args=(p,)) for p in ps]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert results == expected
+            # the linger window must have merged at least some requests
+            assert batcher.batches < batcher.requests
+
+    def test_evaluation_error_reaches_submitter(self, problem, objective):
+        evaluator = PlacementEvaluator(problem, objective)
+        bad = (0,) * (len(problem.feasible_sets) + 1)  # wrong length
+        with RequestBatcher(max_wait_ms=1.0) as batcher:
+            with pytest.raises(ValueError):
+                batcher.submit(evaluator, bad)
+            # the batcher survives a poisoned batch
+            good = placements_for(problem, 1)[0]
+            assert batcher.submit(evaluator, good) == float(
+                PlacementEvaluator(problem, objective).evaluate(good)
+            )
+
+    def test_stop_finishes_queued_work(self, problem, objective):
+        evaluator = PlacementEvaluator(problem, objective)
+        batcher = RequestBatcher(max_wait_ms=50.0)
+        batcher.start()
+        ps = placements_for(problem, 3)
+        holder = {}
+
+        def submit():
+            holder["values"] = batcher.submit_many(evaluator, ps)
+
+        thread = threading.Thread(target=submit)
+        thread.start()
+        batcher.stop()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        reference = PlacementEvaluator(problem, objective)
+        assert holder["values"] == [float(reference.evaluate(p)) for p in ps]
+
+    def test_shares_pool_cache_across_batches(self, problem, objective):
+        pool = EvaluatorPool(objective)
+        evaluator = pool.get(problem)
+        ps = placements_for(problem, 2)
+        with RequestBatcher(max_wait_ms=1.0) as batcher:
+            batcher.submit_many(evaluator, ps)
+            batcher.submit_many(evaluator, ps)  # second pass: warm cache
+        assert evaluator.stats.cache_hits >= len(ps)

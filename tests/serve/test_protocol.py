@@ -1,0 +1,55 @@
+"""JSON-lines wire format: canonical encoding and defensive decoding."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+
+class TestEncode:
+    def test_round_trip(self):
+        message = {"op": "open", "scenario": "edge-churn", "seed": 3}
+        assert decode_message(encode_message(message)) == message
+
+    def test_one_line_canonical_bytes(self):
+        raw = encode_message({"b": 1, "a": [2, 3]})
+        assert raw.endswith(b"\n") and raw.count(b"\n") == 1
+        # sorted keys, no whitespace: stable bytes for framing and diffing
+        assert raw == b'{"a":[2,3],"b":1}\n'
+
+    def test_responses_echo_request_id(self):
+        request = {"op": "ping", "id": "r7"}
+        assert ok_response("ping", request)["id"] == "r7"
+        assert error_response("ping", "nope", request)["id"] == "r7"
+        assert error_response("ping", "nope", request)["ok"] is False
+
+    def test_version_and_ops_stable(self):
+        assert PROTOCOL_VERSION == 1
+        for op in ("open", "event", "report", "close", "evaluate"):
+            assert op in OPS
+
+
+class TestDecode:
+    def test_rejects_bad_json(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{not json}\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_message(json.dumps([1, 2]).encode())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"")
+
+    def test_accepts_str_input(self):
+        assert decode_message('{"op":"ping"}') == {"op": "ping"}

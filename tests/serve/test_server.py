@@ -1,0 +1,164 @@
+"""Daemon equivalence and request semantics over the wire.
+
+The acceptance bar for placement-as-a-service: replaying scenario
+presets through the daemon — at client concurrency 1 and 4 — produces
+AdaptationReports byte-identical to the in-process ScenarioRunner.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.baselines import RandomTaskEftPolicy
+from repro.core.placement import PlacementProblem
+from repro.runtime.evaluator import PlacementEvaluator
+from repro.scenarios import DEFAULT_REGISTRY, ScenarioRunner, materialize
+from repro.serve.client import ServeClient, ServeRequestError
+
+PRESETS = ["stable-cluster", "edge-churn", "bandwidth-degradation"]
+SEED = 3
+
+
+def canonical(report_dict):
+    return json.dumps(report_dict, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def references():
+    out = {}
+    for name in PRESETS:
+        spec = DEFAULT_REGISTRY.get(name, seed=SEED)
+        result = ScenarioRunner(spec).run({"task-eft": RandomTaskEftPolicy()})
+        out[name] = canonical(result.reports["task-eft"].as_dict(include_timing=False))
+    return out
+
+
+def replay_through_daemon(socket_path, preset):
+    """One tenant: open, drain every event, fetch the canonical report."""
+    with ServeClient(socket_path) as client:
+        opened = client.open_session(preset, policy="task-eft", seed=SEED, oracle=True)
+        session = opened["session"]
+        remaining = int(opened["events"])
+        while remaining:
+            remaining = int(client.event(session)["remaining"])
+        report = client.report(session, include_timing=False)["report"]
+        client.close_session(session)
+    return canonical(report)
+
+
+class TestEquivalence:
+    def test_serial_replay_matches_runner(self, server, socket_path, references):
+        for preset in PRESETS:
+            assert replay_through_daemon(socket_path, preset) == references[preset]
+
+    def test_concurrent_replay_matches_runner(self, server, socket_path, references):
+        jobs = PRESETS + [PRESETS[0]]  # 4 concurrent tenants
+        results = [None] * len(jobs)
+        errors = []
+
+        def tenant(i, preset):
+            try:
+                results[i] = replay_through_daemon(socket_path, preset)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=tenant, args=(i, preset))
+            for i, preset in enumerate(jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for preset, got in zip(jobs, results):
+            assert got == references[preset]
+
+
+class TestRequestSemantics:
+    def test_ping_reports_protocol(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            pong = client.ping()
+        assert pong["protocol"] == 1 and pong["pid"] > 0
+
+    def test_evaluate_matches_in_process(self, server, socket_path):
+        spec = DEFAULT_REGISTRY.get("stable-cluster", seed=0)
+        mat = materialize(spec)
+        problem = PlacementProblem(mat.initial_graphs[0], mat.initial_network)
+        sets = problem.feasible_sets
+        p0 = [s[0] for s in sets]
+        p1 = [s[-1] for s in sets]
+        evaluator = PlacementEvaluator(problem, spec.make_objective())
+        expected = [float(evaluator.evaluate(tuple(p0))), float(evaluator.evaluate(tuple(p1)))]
+        with ServeClient(socket_path) as client:
+            values = client.evaluate("stable-cluster", [p0, p1, p0], seed=0)
+        assert values == [expected[0], expected[1], expected[0]]
+
+    def test_unknown_op_rejected(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            with pytest.raises(ServeRequestError):
+                client.request("teleport")
+
+    def test_unknown_scenario_and_policy_rejected(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            with pytest.raises(ServeRequestError):
+                client.open_session("no-such-preset")
+            with pytest.raises(ServeRequestError):
+                client.open_session("stable-cluster", policy="no-such-policy")
+
+    def test_event_on_unknown_session_rejected(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            with pytest.raises(ServeRequestError):
+                client.event("s999")
+
+    def test_event_past_end_rejected(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            opened = client.open_session(
+                "stable-cluster", seed=0, oracle=False, max_events=1
+            )
+            session = opened["session"]
+            assert opened["events"] == 1
+            assert client.event(session)["remaining"] == 0
+            with pytest.raises(ServeRequestError):
+                client.event(session)
+
+    def test_malformed_line_gets_error_not_disconnect(self, server, socket_path):
+        import socket as socket_mod
+
+        sock = socket_mod.socket(socket_mod.AF_UNIX, socket_mod.SOCK_STREAM)
+        sock.connect(socket_path)
+        sock.settimeout(30)
+        try:
+            sock.sendall(b"{this is not json}\n")
+            data = b""
+            while not data.endswith(b"\n"):
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+            response = json.loads(data)
+            assert response["ok"] is False and "error" in response
+        finally:
+            sock.close()
+
+    def test_stats_counts_requests(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            client.ping()
+            stats = client.stats()
+        assert stats["requests"] >= 1
+        assert "batched_requests" in stats and "latency_ms" in stats
+
+    def test_sessions_isolated_by_id(self, server, socket_path):
+        with ServeClient(socket_path) as client:
+            a = client.open_session("stable-cluster", seed=0, oracle=False)["session"]
+            b = client.open_session("stable-cluster", seed=0, oracle=False)["session"]
+            assert a != b
+            first = client.event(a)["record"]
+            second = client.event(b)["record"]
+            first.pop("replace_seconds"), second.pop("replace_seconds")
+            assert first == second  # same preset+seed: same placement outcome
+            client.close_session(a)
+            client.close_session(b)
+            with pytest.raises(ServeRequestError):
+                client.event(a)

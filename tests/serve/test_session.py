@@ -1,0 +1,104 @@
+"""PlacementSession: the request-sized unit carved out of ScenarioRunner.
+
+The tentpole invariant: driving a session event by event (the daemon's
+access pattern, with the oracle computed lazily per event) must produce
+an AdaptationReport byte-identical to the batch ScenarioRunner replay
+(which precomputes the oracle series up front).
+"""
+
+import json
+
+import pytest
+
+from repro.baselines import RandomTaskEftPolicy
+from repro.scenarios import DEFAULT_REGISTRY, ScenarioRunner
+from repro.serve.session import PlacementSession
+
+PRESETS = ["stable-cluster", "edge-churn", "bandwidth-degradation"]
+
+
+def canonical(report_dict):
+    return json.dumps(report_dict, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def references():
+    out = {}
+    for name in PRESETS:
+        spec = DEFAULT_REGISTRY.get(name, seed=3)
+        result = ScenarioRunner(spec).run({"task-eft": RandomTaskEftPolicy()})
+        out[name] = result.reports["task-eft"].as_dict(include_timing=False)
+    return out
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("preset", PRESETS)
+    def test_stepwise_replay_matches_runner(self, preset, references):
+        spec = DEFAULT_REGISTRY.get(preset, seed=3)
+        session = PlacementSession(spec, "task-eft", RandomTaskEftPolicy())
+        while session.remaining:
+            session.step()
+        got = session.report().as_dict(include_timing=False)
+        assert canonical(got) == canonical(references[preset])
+
+    def test_run_matches_stepwise(self):
+        spec = DEFAULT_REGISTRY.get("edge-churn", seed=7)
+        stepped = PlacementSession(spec, "task-eft", RandomTaskEftPolicy())
+        while stepped.remaining:
+            stepped.step()
+        ran = PlacementSession(spec, "task-eft", RandomTaskEftPolicy()).run()
+        assert canonical(ran.as_dict(include_timing=False)) == canonical(
+            stepped.report().as_dict(include_timing=False)
+        )
+
+    def test_oracle_off_reports_zero_regret(self):
+        spec = DEFAULT_REGISTRY.get("stable-cluster", seed=0)
+        session = PlacementSession(
+            spec, "task-eft", RandomTaskEftPolicy(), oracle=False
+        )
+        report = session.run()
+        assert all(step.oracle_slr == 0.0 for step in report.steps)
+
+    def test_precomputed_oracle_series_is_honoured(self, references):
+        spec = DEFAULT_REGISTRY.get("edge-churn", seed=3)
+        series = [row["oracle_slr"] for row in references["edge-churn"]["steps"]]
+        session = PlacementSession(
+            spec, "task-eft", RandomTaskEftPolicy(), oracle_slr=series
+        )
+        got = session.run().as_dict(include_timing=False)
+        assert canonical(got) == canonical(references["edge-churn"])
+
+
+class TestStepSemantics:
+    def test_event_accounting(self):
+        spec = DEFAULT_REGISTRY.get("stable-cluster", seed=0)
+        session = PlacementSession(spec, "task-eft", RandomTaskEftPolicy())
+        total = session.num_events
+        assert total > 0 and session.events_consumed == 0
+        records = []
+        while session.remaining:
+            records.append(session.step())
+        assert session.events_consumed == total == len(records)
+        assert [r.index for r in records] == list(range(total))
+
+    def test_step_past_end_raises(self):
+        spec = DEFAULT_REGISTRY.get("stable-cluster", seed=0)
+        session = PlacementSession(spec, "task-eft", RandomTaskEftPolicy())
+        session.run()
+        with pytest.raises(StopIteration):
+            session.step()
+
+    def test_report_is_idempotent(self):
+        spec = DEFAULT_REGISTRY.get("stable-cluster", seed=0)
+        session = PlacementSession(spec, "task-eft", RandomTaskEftPolicy())
+        session.run()
+        first = session.report().as_dict(include_timing=False)
+        second = session.report().as_dict(include_timing=False)
+        assert canonical(first) == canonical(second)
+
+    def test_rejects_bad_episode_multiplier(self):
+        spec = DEFAULT_REGISTRY.get("stable-cluster", seed=0)
+        with pytest.raises(ValueError):
+            PlacementSession(
+                spec, "task-eft", RandomTaskEftPolicy(), episode_multiplier=0
+            )

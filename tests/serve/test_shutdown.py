@@ -1,0 +1,107 @@
+"""Graceful shutdown: a real ``repro serve`` process under SIGTERM/SIGINT.
+
+The daemon must drain in-flight requests, flush its telemetry run log,
+and exit 0 — and the flushed log must let ``repro trace`` group spans
+per request under ``serve.request`` (not one flat run root).
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def start_daemon(tmp):
+    socket_path = str(pathlib.Path(tmp) / "serve.sock")
+    trace_path = str(pathlib.Path(tmp) / "serve-trace.jsonl")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", socket_path, "--trace-log", trace_path],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return process, socket_path, trace_path
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_drains_and_exits_zero(signum):
+    with tempfile.TemporaryDirectory(prefix="repro-serve-", dir="/tmp") as tmp:
+        process, socket_path, trace_path = start_daemon(tmp)
+        try:
+            with ServeClient(socket_path, connect_retry_s=30.0) as client:
+                opened = client.open_session(
+                    "stable-cluster", seed=0, oracle=False, max_events=2
+                )
+                session = opened["session"]
+                client.event(session)
+                # put a request on the wire BEFORE the signal: it is
+                # in-flight when the drain starts and must still be served
+                from repro.serve.protocol import encode_message
+
+                client._sock.sendall(
+                    encode_message({"op": "event", "session": session})
+                )
+                process.send_signal(signum)
+                response = json.loads(client._readline())
+                assert response["ok"] is True and response["remaining"] == 0
+            rc = process.wait(timeout=60)
+            output = process.stdout.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+        assert rc == 0, output
+        assert "draining" in output and "drained and stopped" in output
+
+        # the flushed run log exists and groups spans per request (the
+        # `repro trace` fix: serve.request is the per-request root)
+        log_path = pathlib.Path(trace_path)
+        assert log_path.exists()
+        records = [
+            json.loads(line) for line in log_path.read_text().splitlines() if line
+        ]
+        kinds = {record.get("kind") for record in records}
+        assert "run" in kinds and "span" in kinds
+        span_paths = {
+            record["path"] for record in records if record.get("kind") == "span"
+        }
+        assert "serve.request" in span_paths
+        assert any(path.startswith("serve.request/serve.") for path in span_paths)
+        assert any("serve.request/serve.event/serve.search" in p for p in span_paths)
+
+
+def test_stale_socket_is_replaced():
+    with tempfile.TemporaryDirectory(prefix="repro-serve-", dir="/tmp") as tmp:
+        process, socket_path, _ = start_daemon(tmp)
+        try:
+            with ServeClient(socket_path, connect_retry_s=30.0) as client:
+                assert client.ping()["ok"] is True
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+            # leave a stale socket file behind, then restart over it
+            pathlib.Path(socket_path).touch()
+            process, socket_path, _ = start_daemon(tmp)
+            with ServeClient(socket_path, connect_retry_s=30.0) as client:
+                assert client.ping()["ok"] is True
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()

@@ -1,0 +1,69 @@
+"""Cross-thread spans: each thread nests under its own path.
+
+The serve daemon answers requests from concurrent connection threads;
+span paths are thread-local so one request's ``serve.request/...`` tree
+never interleaves with another's, while the aggregated stats (guarded
+by the collector lock) still sum across all threads.
+"""
+
+import threading
+
+from repro.telemetry import collector, set_enabled, span
+
+
+class TestThreadLocalPaths:
+    def test_each_thread_roots_its_own_tree(self):
+        set_enabled(True)
+        barrier = threading.Barrier(4)
+
+        def request(i):
+            with span("serve.request"):
+                barrier.wait()  # all four requests in flight at once
+                with span("serve.event"):
+                    pass
+
+        threads = [threading.Thread(target=request, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = collector().stats
+        assert stats["serve.request"].calls == 4
+        # nested spans land under the per-thread root, never at top level
+        assert stats["serve.request/serve.event"].calls == 4
+        assert "serve.event" not in stats
+
+    def test_worker_thread_does_not_inherit_main_path(self):
+        set_enabled(True)
+        seen = {}
+
+        def worker():
+            seen["path"] = collector().path
+            with span("inner"):
+                pass
+
+        with span("outer"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        stats = collector().stats
+        assert seen["path"] == ""
+        assert "inner" in stats and "outer/inner" not in stats
+
+    def test_concurrent_same_span_counts_are_not_lost(self):
+        set_enabled(True)
+        rounds = 200
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(rounds):
+                with span("hot"):
+                    pass
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert collector().stats["hot"].calls == 8 * rounds
