@@ -8,7 +8,7 @@ selected by ``REPRO_SCALE`` (default: quick).
 On top of the printed timings, every benchmark records a machine-
 readable entry — wall-clock seconds plus aggregated evaluator/GNN
 counters where the report carries them — and the session writes the
-collection to ``results/BENCH_pr8.json`` (uploaded as a CI artifact), so
+collection to ``results/BENCH_pr9.json`` (uploaded as a CI artifact), so
 the perf trajectory is tracked across commits instead of living only in
 logs.  ``repro bench report`` folds the per-PR files into one
 trajectory table and gates regressions.
@@ -25,7 +25,7 @@ import numpy as np
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
-BENCH_JSON = RESULTS_DIR / "BENCH_pr8.json"
+BENCH_JSON = RESULTS_DIR / "BENCH_pr9.json"
 
 # name -> {"seconds": float, ...extras}; flushed at session end.
 _BENCH_RECORDS: dict[str, dict] = {}

@@ -9,7 +9,7 @@ materialization bill every placement paid before the daemon existed.
 The acceptance gate for placement-as-a-service: the warm request p50
 must be at least 10x faster than the cold single-event run.  The load
 summary (p50/p99 latency, requests/sec, cold comparison) is recorded
-into ``results/BENCH_pr8.json``.
+into ``results/BENCH_pr9.json``.
 """
 
 import pathlib

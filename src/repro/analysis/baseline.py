@@ -1,0 +1,139 @@
+"""The tracked lint baseline: pre-existing findings, kept on purpose.
+
+``lint-baseline.json`` (repo root, committed) records findings that
+predate a rule or are intentional, each with a ``justification``.  The
+engine subtracts matching findings from a run, so ``repro lint`` stays
+zero on a clean tree while new violations still fail.
+
+Entries match by ``(rule, path, code)`` — the stripped source line, not
+its number — so unrelated edits that shift lines don't invalidate the
+baseline, while editing the flagged line itself (the moment the
+contract should be re-examined) does.  Identical flagged lines in one
+file consume one entry each.
+
+``repro lint --baseline update`` rewrites the file from the current
+findings, preserving justifications of entries that survive; new
+entries get a placeholder justification to fill in before committing.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from .findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "default_baseline_path"]
+
+_PLACEHOLDER = "TODO: justify or fix"
+
+
+def default_baseline_path(package_dir: pathlib.Path) -> pathlib.Path:
+    """``lint-baseline.json`` at the repo root (``<root>/src/repro`` layout),
+    falling back to a sibling of the package for non-standard checkouts."""
+    candidates = [
+        package_dir.parent.parent / "lint-baseline.json",  # <repo>/src/repro
+        package_dir.parent / "lint-baseline.json",
+    ]
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    return candidates[0]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    code: str
+    line: int = 0  # informational; matching ignores it
+    justification: str = _PLACEHOLDER
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """A loaded baseline file (missing file = empty baseline)."""
+
+    def __init__(self, entries: list[BaselineEntry], path: pathlib.Path | None = None):
+        self.entries = entries
+        self.path = path
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        path = pathlib.Path(path)
+        if not path.exists():
+            return cls([], path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                code=str(entry["code"]),
+                line=int(entry.get("line", 0)),
+                justification=str(entry.get("justification", _PLACEHOLDER)),
+            )
+            for entry in payload.get("entries", [])
+        ]
+        return cls(entries, path)
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """``(new, baselined)`` — each entry absorbs at most one finding."""
+        budget: dict[tuple[str, str, str], int] = {}
+        for entry in self.entries:
+            budget[entry.fingerprint] = budget.get(entry.fingerprint, 0) + 1
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for finding in findings:
+            if budget.get(finding.fingerprint, 0) > 0:
+                budget[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def updated(self, findings: list[Finding]) -> "Baseline":
+        """A baseline covering exactly ``findings``, keeping old justifications."""
+        justifications: dict[tuple[str, str, str], list[str]] = {}
+        for entry in self.entries:
+            justifications.setdefault(entry.fingerprint, []).append(entry.justification)
+        entries = []
+        for finding in sorted(findings):
+            kept = justifications.get(finding.fingerprint)
+            justification = kept.pop(0) if kept else _PLACEHOLDER
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.rel,
+                    code=finding.code,
+                    line=finding.line,
+                    justification=justification,
+                )
+            )
+        return Baseline(entries, self.path)
+
+    def write(self, path: str | pathlib.Path | None = None) -> pathlib.Path:
+        target = pathlib.Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("baseline has no path to write to")
+        payload = {
+            "version": 1,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return target

@@ -1,0 +1,160 @@
+"""Rule interface, lint context, and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..findings import Finding
+from ..loader import LintTree, ModuleInfo
+
+__all__ = [
+    "LintContext",
+    "Rule",
+    "call_name",
+    "dotted_name",
+    "is_constant_seed",
+    "iter_functions",
+]
+
+
+class LintContext:
+    """Per-run state shared by every rule.
+
+    Holds the parsed tree (with its import graph) and lazily extracted
+    cross-module facts — e.g. the ``VOLATILE_DATA_KEYS`` set, read from
+    the scanned source itself (never imported), so a fixture tree in a
+    test carries its own contract definitions.
+    """
+
+    def __init__(self, tree: LintTree):
+        self.tree = tree
+        self._volatile_keys: frozenset[str] | None | bool = False  # False = unread
+
+    def volatile_keys(self) -> frozenset[str] | None:
+        """String elements of ``VOLATILE_DATA_KEYS`` in ``experiments/base.py``.
+
+        ``None`` when the module or the assignment is absent (partial
+        fixture trees) — rules needing it must then stay quiet rather
+        than flag everything.
+        """
+        if self._volatile_keys is False:
+            self._volatile_keys = self._read_volatile_keys()
+        return self._volatile_keys  # type: ignore[return-value]
+
+    def _read_volatile_keys(self) -> frozenset[str] | None:
+        module = self.tree.get_rel("experiments/base.py")
+        if module is None:
+            return None
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if "VOLATILE_DATA_KEYS" not in targets:
+                continue
+            keys = {
+                element.value
+                for element in ast.walk(node.value)
+                if isinstance(element, ast.Constant) and isinstance(element.value, str)
+            }
+            return frozenset(keys)
+        return None
+
+
+class Rule:
+    """One mechanized invariant.
+
+    ``check_module`` runs per module; ``finish`` runs once after every
+    module was visited, for rules that aggregate cross-module facts
+    (e.g. duplicate absorb prefixes).  Subclasses fill the class
+    attributes — they feed ``repro lint --list-rules``, the README rule
+    table drift guard, and finding rendering.
+    """
+
+    id: str = ""
+    title: str = ""
+    protects: str = ""  # the contract, one sentence
+    hint: str = ""  # default fix hint attached to findings
+
+    def check_module(self, module: ModuleInfo, ctx: LintContext) -> Iterable[Finding]:
+        return ()
+
+    def finish(self, ctx: LintContext) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        hint: str | None = None,
+    ) -> Finding:
+        line = getattr(node, "lineno", 0)
+        return Finding(
+            rel=module.rel,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            hint=self.hint if hint is None else hint,
+            code=module.line_text(line),
+        )
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, ``""`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def call_name(call: ast.Call) -> str:
+    """Dotted name of a call's callee (``""`` for computed callees)."""
+    return dotted_name(call.func)
+
+
+def _is_constant_number(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_constant_number(node.operand)
+    return False
+
+
+def is_constant_seed(node: ast.AST) -> bool:
+    """True when a seed expression is fully hardcoded.
+
+    A scalar literal is hardcoded; a list/tuple seed key is hardcoded
+    only when *every* element is — ``[seed, 0, 1]`` derives from a name
+    and passes, ``[0, 1]`` does not.
+    """
+    if _is_constant_number(node):
+        return True
+    if isinstance(node, (ast.List, ast.Tuple)):
+        return bool(node.elts) and all(_is_constant_number(e) for e in node.elts)
+    return False
+
+
+def iter_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Yield ``(qualname, function node, enclosing class name)`` for every
+    function in a module, including methods and nested functions."""
+
+    def walk(
+        node: ast.AST, prefix: str, cls: str | None
+    ) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child, cls
+                yield from walk(child, f"{qual}.<locals>.", cls)
+            elif isinstance(child, ast.ClassDef):
+                yield from walk(child, f"{prefix}{child.name}.", child.name)
+
+    yield from walk(tree, "", None)

@@ -1,0 +1,139 @@
+"""Report-path rules: volatile-key coverage and canonical JSON.
+
+Two contracts guard the byte-identical-merge guarantee
+(`ExperimentReport.to_json` equal at any worker/shard count):
+
+* every run-dependent field written into report data (wall-clock
+  timings, cache-provenance counters) must be listed in
+  ``VOLATILE_DATA_KEYS`` so ``stable_data()`` strips it — a timing key
+  that drifts in breaks shard-merge equality one experiment at a time;
+* every ``json.dumps`` on a protocol/report/store path must pass
+  ``sort_keys=True`` — key order is dict-insertion order, so an
+  unsorted dump makes "canonical" bytes depend on construction order.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from ..findings import Finding
+from ..loader import ModuleInfo
+from .base import LintContext, Rule, call_name
+
+__all__ = ["CanonicalJsonRule", "VolatileKeyDriftRule"]
+
+# Modules whose dict keys end up inside ExperimentReport.data: the
+# experiment modules themselves plus the stats blocks they embed.
+REPORT_DATA_SCOPES = (
+    "experiments/",
+    "core/gnn.py",
+    "runtime/evaluator.py",
+    "scenarios/report.py",
+)
+
+# A key that names wall-clock time or cache provenance is volatile by
+# nature; everything else in a report must be a pure function of
+# (experiment, seed, scale, code).
+VOLATILE_KEY_PATTERN = re.compile(
+    r".*(_seconds|_ms|_wall|_cache)$|^(elapsed|wall)(_.*)?$"
+)
+
+# Paths where serialized bytes are compared, fingerprinted, or spoken
+# over the wire — the canonical-encoding surface.
+CANONICAL_JSON_SCOPES = (
+    "serve/protocol.py",
+    "store/",
+    "shard/",
+    "telemetry/events.py",
+    "experiments/base.py",
+    "core/serialization.py",
+)
+
+
+class VolatileKeyDriftRule(Rule):
+    """Timing/cache keys written into report data must be declared volatile."""
+
+    id = "volatile-key-drift"
+    title = "undeclared volatile report key"
+    protects = (
+        "byte-identical shard merges: stable_data() can only strip the "
+        "run-dependent keys it knows about, so every timing/cache key in "
+        "report data must appear in VOLATILE_DATA_KEYS"
+    )
+    hint = (
+        "add the key to VOLATILE_DATA_KEYS in experiments/base.py (and "
+        "re-run the shard equivalence suite), or rename it if it is "
+        "actually deterministic"
+    )
+
+    def check_module(self, module: ModuleInfo, ctx: LintContext) -> Iterable[Finding]:
+        if not module.rel.startswith(REPORT_DATA_SCOPES):
+            return
+        declared = ctx.volatile_keys()
+        if declared is None:
+            return  # no contract definition in this tree: nothing to check against
+        for node in ast.walk(module.tree):
+            keys: list[tuple[ast.AST, str]] = []
+            if isinstance(node, ast.Dict):
+                keys = [
+                    (key, key.value)
+                    for key in node.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                ]
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.slice, ast.Constant)
+                        and isinstance(target.slice.value, str)
+                    ):
+                        keys.append((target, target.slice.value))
+            for anchor, key in keys:
+                if VOLATILE_KEY_PATTERN.fullmatch(key) and key not in declared:
+                    yield self.finding(
+                        module,
+                        anchor,
+                        f"report-data key {key!r} looks run-dependent (timing/"
+                        "cache pattern) but is not in VOLATILE_DATA_KEYS — "
+                        "stable_data() would keep it and shard merges diverge",
+                    )
+
+
+class CanonicalJsonRule(Rule):
+    """No non-sort_keys json.dumps on protocol/report/store paths."""
+
+    id = "canonical-json"
+    title = "non-canonical json.dumps"
+    protects = (
+        "byte-stable protocol frames, store addresses, and report JSON: "
+        "unsorted dumps make bytes depend on dict construction order"
+    )
+    hint = "pass sort_keys=True (and fixed separators where bytes are compared)"
+
+    def check_module(self, module: ModuleInfo, ctx: LintContext) -> Iterable[Finding]:
+        if not module.rel.startswith(CANONICAL_JSON_SCOPES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if not (name == "json.dumps" or name.endswith(".json.dumps") or name == "dumps"):
+                continue
+            sort_keys = next(
+                (kw.value for kw in node.keywords if kw.arg == "sort_keys"), None
+            )
+            if sort_keys is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "json.dumps without sort_keys=True on a canonical path: "
+                    "output bytes depend on dict insertion order",
+                )
+            elif isinstance(sort_keys, ast.Constant) and sort_keys.value is not True:
+                yield self.finding(
+                    module,
+                    node,
+                    "json.dumps with sort_keys disabled on a canonical path",
+                )

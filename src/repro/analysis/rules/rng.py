@@ -1,0 +1,161 @@
+"""RNG discipline rules.
+
+The determinism contract (PRs 3-4): every stream of randomness derives
+from an explicit identity — ``task_rng([seed, index])`` keys, per-cell
+``default_rng([seed, stage, cell])`` seed lists, or a caller-provided
+generator — never from a hardcoded constant or a shared advancing
+generator stashed at module/instance scope.  Both failure modes broke
+worker-count independence before they were hunted down by equivalence
+suites; these rules catch them at diff time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..loader import ModuleInfo
+from .base import LintContext, Rule, call_name, is_constant_seed
+
+__all__ = ["RngConstantSeedRule", "RngStoredAdvancingRule"]
+
+# Entry-point modules where a user-facing `--seed` argument legitimately
+# becomes the root generator.  Everything else must derive streams.
+ENTRY_WHITELIST = ("cli.py", "__main__.py")
+
+# Packages whose classes take part in fan-outs and replays: an instance
+# field holding an advancing generator there is state that travels with
+# pickled contexts and breaks run/worker independence.
+STATEFUL_SCOPES = ("baselines/", "experiments/", "scenarios/")
+
+_RNG_CONSTRUCTORS = ("default_rng", "task_rng")
+
+
+def _seed_argument(call: ast.Call) -> ast.AST | None:
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return keyword.value
+    return None
+
+
+class RngConstantSeedRule(Rule):
+    """No hardcoded or missing seeds outside the CLI/entry whitelist."""
+
+    id = "rng-constant-seed"
+    title = "hardcoded default_rng seed"
+    protects = (
+        "worker-count and run independence: streams derive from task_rng/"
+        "seed-list keys, not constants baked into library code"
+    )
+    hint = (
+        "derive the stream from the caller's seed or a seed-list key "
+        "(default_rng([seed, stage, cell]) / task_rng), or thread a seed "
+        "parameter through from the entry point"
+    )
+
+    def check_module(self, module: ModuleInfo, ctx: LintContext) -> Iterable[Finding]:
+        if module.rel in ENTRY_WHITELIST:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            last = name.rsplit(".", 1)[-1]
+            if name in ("np.random.seed", "numpy.random.seed"):
+                yield self.finding(
+                    module,
+                    node,
+                    "np.random.seed mutates the process-global legacy rng; "
+                    "use an explicit Generator stream",
+                )
+                continue
+            if last == "RandomState":
+                yield self.finding(
+                    module,
+                    node,
+                    "legacy np.random.RandomState has no seed-list derivation; "
+                    "use np.random.default_rng with a derived key",
+                )
+                continue
+            if last not in _RNG_CONSTRUCTORS:
+                continue
+            seed = _seed_argument(node)
+            if seed is None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"unseeded {last}() is nondeterministic: every run draws a "
+                    "different stream",
+                )
+            elif is_constant_seed(seed):
+                yield self.finding(
+                    module,
+                    node,
+                    f"hardcoded seed in {last}({ast.unparse(seed)}): library code "
+                    "must derive streams from the caller's seed, not constants",
+                )
+
+
+class RngStoredAdvancingRule(Rule):
+    """No module-level or instance-stored advancing generators in
+    baselines/, experiments/, scenarios/."""
+
+    id = "rng-stored-advancing"
+    title = "stored advancing rng"
+    protects = (
+        "comparability of fanned-out cells: a generator stored at module or "
+        "instance scope advances with call order, so results depend on which "
+        "other work ran first (the exact bug class of PR 4's agent fixes)"
+    )
+    hint = (
+        "pass the stream in per call (policy.search(..., rng=...)) or derive "
+        "a fresh default_rng([...]) from the task's identity at the use site"
+    )
+
+    def check_module(self, module: ModuleInfo, ctx: LintContext) -> Iterable[Finding]:
+        if not module.rel.startswith(STATEFUL_SCOPES):
+            return
+        # Module-level: X = default_rng(...) at top level of the module.
+        for node in module.tree.body:
+            value = getattr(node, "value", None)
+            if (
+                isinstance(node, (ast.Assign, ast.AnnAssign))
+                and isinstance(value, ast.Call)
+                and call_name(value).rsplit(".", 1)[-1] in _RNG_CONSTRUCTORS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "module-level rng advances across every caller in import "
+                    "order — results change with what else ran",
+                )
+        # Instance-level: self.<attr> = <rng expression> anywhere in a class.
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if self._is_rng_expression(node.value):
+                    yield self.finding(
+                        module,
+                        target,
+                        f"self.{target.attr} stores an advancing rng on the "
+                        "instance; its draws depend on call history, not on "
+                        "the task's identity",
+                    )
+
+    @staticmethod
+    def _is_rng_expression(value: ast.AST) -> bool:
+        if isinstance(value, ast.Call):
+            return call_name(value).rsplit(".", 1)[-1] in _RNG_CONSTRUCTORS
+        if isinstance(value, ast.Name):
+            return value.id == "rng" or value.id.endswith("_rng")
+        return False

@@ -1,0 +1,225 @@
+"""Telemetry purity rules.
+
+PR 7's contract: telemetry is observational only — report bytes are
+identical with ``REPRO_TELEMETRY=off``.  Two mechanized consequences:
+
+* the ``telemetry/`` package must stay a leaf (it may not import
+  report-bearing modules) and must never write through to report state;
+* instance-scoped stats may be absorbed into the metrics registry at
+  exactly one merge point per prefix — absorbing on both sides of a
+  merge (parent and child, or inside a fanned-out task *and* at its
+  merge) double-counts, the bug class ``Metrics.absorb``'s docstring
+  warns about in prose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from ..loader import ModuleInfo
+from .base import LintContext, Rule, call_name, dotted_name, iter_functions
+
+__all__ = ["StatsDoubleAbsorbRule", "TelemetryPurityRule"]
+
+_REPORT_MARKERS = ("report", "data")
+
+
+def _target_touches_report_state(target: ast.AST) -> bool:
+    """True when an assignment target writes into report-bearing state:
+    an attribute/subscript chain passing through ``report``/``.data``."""
+    node = target
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    chain = dotted_name(node)
+    if not chain:
+        return False
+    parts = chain.split(".")
+    # `data[...] = ...` on a bare local name is fine; `x.data[...] = ...`
+    # and `report.anything = ...` are report-state writes.
+    if len(parts) >= 2 and parts[-1] in _REPORT_MARKERS:
+        return True
+    return parts[0] == "report" and len(parts) >= 2
+
+
+class TelemetryPurityRule(Rule):
+    """telemetry/ is a leaf package and span bodies don't mutate reports."""
+
+    id = "telemetry-purity"
+    title = "telemetry must stay observational"
+    protects = (
+        "the report-bytes-identical-with-telemetry-off guarantee: the "
+        "telemetry package cannot reach report-bearing modules, and "
+        "instrumented regions cannot write report state as a side effect "
+        "of being traced"
+    )
+    hint = (
+        "move the mutation out of the telemetry package / span body; "
+        "telemetry may observe state, never own or edit it"
+    )
+
+    def check_module(self, module: ModuleInfo, ctx: LintContext) -> Iterable[Finding]:
+        if module.rel.startswith("telemetry/"):
+            yield from self._check_telemetry_module(module, ctx)
+        else:
+            yield from self._check_span_bodies(module)
+
+    def _check_telemetry_module(
+        self, module: ModuleInfo, ctx: LintContext
+    ) -> Iterable[Finding]:
+        package = ctx.tree.package
+        telemetry_pkg = f"{package}.telemetry"
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for imported in self._imported_names(module, node, package):
+                    if imported.startswith(package) and not (
+                        imported == telemetry_pkg
+                        or imported.startswith(telemetry_pkg + ".")
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"telemetry imports {imported}: the telemetry package "
+                            "must stay a leaf so instrumentation can never feed "
+                            "back into reports",
+                        )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if _target_touches_report_state(target):
+                        yield self.finding(
+                            module,
+                            target,
+                            "telemetry writes report-bearing state "
+                            f"({ast.unparse(target)}); collectors observe, "
+                            "they never mutate",
+                        )
+
+    @staticmethod
+    def _imported_names(
+        module: ModuleInfo, node: ast.Import | ast.ImportFrom, package: str
+    ) -> list[str]:
+        if isinstance(node, ast.Import):
+            return [alias.name for alias in node.names]
+        if node.level == 0:
+            return [node.module or ""]
+        parts = module.package.split(".")
+        anchor = parts[: len(parts) - (node.level - 1)]
+        if not anchor:
+            return []
+        base = ".".join(anchor + ([node.module] if node.module else []))
+        return [base]
+
+    def _check_span_bodies(self, module: ModuleInfo) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.With):
+                continue
+            if not any(
+                isinstance(item.context_expr, ast.Call)
+                and call_name(item.context_expr).rsplit(".", 1)[-1] == "span"
+                for item in node.items
+            ):
+                continue
+            for statement in node.body:
+                for child in ast.walk(statement):
+                    if isinstance(child, (ast.Assign, ast.AugAssign)):
+                        targets = (
+                            child.targets
+                            if isinstance(child, ast.Assign)
+                            else [child.target]
+                        )
+                        for target in targets:
+                            if _target_touches_report_state(target):
+                                yield self.finding(
+                                    module,
+                                    target,
+                                    "report-bearing state mutated inside a "
+                                    f"span body ({ast.unparse(target)}): spans "
+                                    "must be removable without changing reports",
+                                )
+
+
+class StatsDoubleAbsorbRule(Rule):
+    """Each stats prefix is absorbed at exactly one merge point."""
+
+    id = "stats-double-absorb"
+    title = "symmetric stats absorption"
+    protects = (
+        "metric integrity across merges: a prefix absorbed at several "
+        "sites, or inside a fanned-out task whose deltas already ship "
+        "home, counts the same work twice"
+    )
+    hint = (
+        "absorb instance-scoped stats once, parent-side, at the merge "
+        "point; worker-side activity reaches the registry via task deltas"
+    )
+
+    def __init__(self) -> None:
+        # prefix literal -> [(module, function qualname, call node)]
+        self._absorbs: dict[str, list[tuple[ModuleInfo, str, ast.Call]]] = {}
+
+    def check_module(self, module: ModuleInfo, ctx: LintContext) -> Iterable[Finding]:
+        fanout_fns = self._fanout_task_functions(module)
+        for qualname, function, _cls in iter_functions(module.tree):
+            for node in ast.walk(function):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "absorb"
+                    and node.args
+                ):
+                    continue
+                prefix_node = node.args[0]
+                prefix = (
+                    prefix_node.value
+                    if isinstance(prefix_node, ast.Constant)
+                    and isinstance(prefix_node.value, str)
+                    else None
+                )
+                if prefix is not None:
+                    self._absorbs.setdefault(prefix, []).append(
+                        (module, qualname, node)
+                    )
+                base_name = qualname.split(".", 1)[0]
+                if base_name in fanout_fns:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{qualname} absorbs stats but is fanned out as a task "
+                        "function; its metrics delta already ships home with "
+                        "the task result, so the merge double-counts",
+                    )
+
+    @staticmethod
+    def _fanout_task_functions(module: ModuleInfo) -> set[str]:
+        """Names passed as the task function of a ``.fanout(...)`` call."""
+        names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fanout"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                names.add(node.args[0].id)
+        return names
+
+    def finish(self, ctx: LintContext) -> Iterable[Finding]:
+        for prefix, sites in sorted(self._absorbs.items()):
+            if len(sites) <= 1:
+                continue
+            locations = ", ".join(
+                f"{m.rel}:{node.lineno} ({qual})" for m, qual, node in sites
+            )
+            for module, qualname, node in sites:
+                yield self.finding(
+                    module,
+                    node,
+                    f"stats prefix {prefix!r} is absorbed at {len(sites)} sites "
+                    f"({locations}); a merged run folds it more than once",
+                )
+        self._absorbs.clear()

@@ -195,6 +195,7 @@ class PlacetoAgent(AdaptivePolicy):
         # Per-case stream discipline (see TaskEftAgent.search): device
         # sampling must draw from the caller's rng, not a generator whose
         # state depends on previously searched cases.
+        # repro: lint-ok[rng-stored-advancing]  (rebinds to the per-case stream)
         self.rng = rng
         evaluator = make_evaluator(problem, objective, evaluator)
         placement = list(problem.validate_placement(initial_placement))

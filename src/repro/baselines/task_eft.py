@@ -132,6 +132,8 @@ class TaskEftAgent(AdaptivePolicy):
         # does): leaving the agent's internal rng advancing across cases
         # couples a case's result to which cases ran before it — and on
         # which worker — breaking worker-count independence.
+        # Rebinding TO the caller's stream is the fix, not the bug.
+        # repro: lint-ok[rng-stored-advancing]
         self.rng = rng
         evaluator = make_evaluator(problem, objective, evaluator)
         placement = list(problem.validate_placement(initial_placement))

@@ -19,7 +19,10 @@ Subcommands (Artifact Appendix A.5-A.6):
 * ``trace``       — render the telemetry span tree of a run's JSONL
                     event log(s) (see repro.telemetry);
 * ``bench``       — fold the per-PR benchmark JSON files into one
-                    trajectory table and gate perf regressions.
+                    trajectory table and gate perf regressions;
+* ``lint``        — AST invariant analysis over the source tree: RNG
+                    discipline, telemetry purity, canonical JSON,
+                    fan-out pickle safety (see repro.analysis).
 
 Status/progress lines go to stderr through the ``REPRO_LOG`` leveled
 logger (debug|info|quiet); stdout carries only primary results.
@@ -240,6 +243,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="telemetry JSONL written on shutdown "
                             "(default: runs/trace/serve-<stamp>.jsonl; "
                             "inspect with `repro trace`)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="root seed for the daemon's derived policy "
+                            "streams (sessions re-derive per tenant)")
 
     load = sub.add_parser(
         "load", help="drive the daemon with seeded many-tenant load (repro.serve.load)"
@@ -266,9 +272,31 @@ def build_parser() -> argparse.ArgumentParser:
                            "subprocess and report the warm-p50 speedup")
     load.add_argument("--bench-json", default=None, metavar="PATH",
                       help="merge the summary into this BENCH json "
-                           "(e.g. results/BENCH_pr8.json)")
+                           "(e.g. results/BENCH_pr9.json)")
     load.add_argument("--json", default=None, metavar="PATH",
                       help="also write the full summary JSON to PATH")
+
+    lint = sub.add_parser(
+        "lint", help="AST invariant analysis over the source tree (repro.analysis)"
+    )
+    lint.add_argument("--rule", action="append", dest="rules", metavar="RULE_ID",
+                      help="run only this rule (repeatable; default: all)")
+    lint.add_argument("--baseline", default="apply",
+                      choices=["apply", "update", "ignore"],
+                      help="apply the tracked baseline (default), rewrite it "
+                           "from current findings, or report everything")
+    lint.add_argument("--baseline-file", default=None, metavar="PATH",
+                      help="baseline JSON (default: <repo>/lint-baseline.json)")
+    lint.add_argument("--json", default=None, metavar="PATH",
+                      help="write the full findings payload to PATH "
+                           "(CI uploads this as an artifact)")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="package directory to lint (default: the installed "
+                           "repro package)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule portfolio and exit")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list baselined and suppressed findings")
 
     return parser
 
@@ -490,6 +518,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         oracle=args.oracle,
         agent_path=args.agent,
+        seed=args.seed,
     )
     server = PlacementServer(config)
     install_signal_handlers(server)
@@ -869,6 +898,48 @@ def _cmd_shard_merge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (
+        ALL_RULES,
+        findings_payload,
+        render_text,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for factory in ALL_RULES.values():
+            rule = factory()
+            print(f"{rule.id:24s} {rule.title}")
+            print(f"{'':24s} protects: {rule.protects}")
+        return 0
+    try:
+        result = run_lint(
+            root=args.root,
+            rule_ids=args.rules,
+            baseline_path=args.baseline_file,
+            baseline_mode=args.baseline,
+        )
+    except KeyError as exc:
+        log.warn(f"repro lint: {exc.args[0]}")
+        return 2
+    except SyntaxError as exc:
+        log.warn(f"repro lint: cannot parse {exc.filename}:{exc.lineno}: {exc.msg}")
+        return 2
+    print(render_text(result, verbose=args.verbose))
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(findings_payload(result), indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        log.info(f"wrote findings JSON to {path}")
+    if args.baseline == "update":
+        log.info(f"baseline rewritten with {len(result.baselined)} entry(ies); "
+                 "fill in placeholder justifications before committing")
+    return 0 if result.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -882,6 +953,7 @@ def main(argv: list[str] | None = None) -> int:
         "shard": cmd_shard,
         "trace": cmd_trace,
         "bench": cmd_bench,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

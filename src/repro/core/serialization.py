@@ -50,7 +50,9 @@ def save_agent(agent: GiPHAgent, path: str | pathlib.Path) -> pathlib.Path:
         "parameter_names": sorted(state),
     }
     arrays = dict(state)
-    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+    )
     path.parent.mkdir(parents=True, exist_ok=True)
     np.savez(path, **arrays)
     return path

@@ -16,7 +16,7 @@ corresponding batch replay.
 
 The summary reports p50/p99/mean request latency and sustained
 requests/sec, and (with ``bench_path``) merges a record into
-``results/BENCH_pr8.json`` in the same shape as the pytest benchmark
+``results/BENCH_pr9.json`` in the same shape as the pytest benchmark
 harness, so ``repro bench report`` tracks serving latency across PRs.
 With ``compare_cold`` the same single-event placement is also run as a
 cold ``repro scenario run`` subprocess — the batch-stack cost a warm

@@ -74,13 +74,17 @@ class ServeError(RuntimeError):
 
 def default_policy_factories(
     agent_path: str | os.PathLike | None = None,
+    seed: int = 0,
 ) -> dict[str, Callable[[], SearchPolicy]]:
     """Policy constructors the daemon serves, keyed by request name.
 
     Mirrors the ``repro scenario run`` policy set.  With ``agent_path``
     a trained GiPH agent is loaded **once** at boot and shared read-only
     by every ``giph`` session (sessions get fresh search wrappers around
-    the warm weights).
+    the warm weights).  ``seed`` is the daemon's root seed (the
+    ``repro serve --seed`` flag); the load-time stream derives from it
+    as a seed-list key so two daemons with the same seed serve
+    bit-identical policies.
     """
     import numpy as np
 
@@ -97,7 +101,7 @@ def default_policy_factories(
         from ..baselines.giph_policy import GiPHSearchPolicy
         from ..core.serialization import load_agent
 
-        agent = load_agent(pathlib.Path(agent_path), np.random.default_rng(0))
+        agent = load_agent(pathlib.Path(agent_path), np.random.default_rng([seed]))
         factories["giph"] = lambda: GiPHSearchPolicy(agent)
     return factories
 
@@ -112,6 +116,7 @@ class ServeConfig:
     max_batch: int = 256
     oracle: bool = False  # default for opened sessions (requests may override)
     agent_path: str | None = None
+    seed: int = 0  # root seed for the daemon's derived policy streams
     accept_timeout_s: float = 0.2
     drain_timeout_s: float = 30.0
 
@@ -174,7 +179,7 @@ class PlacementServer:
         self.policy_factories = dict(
             policy_factories
             if policy_factories is not None
-            else default_policy_factories(config.agent_path)
+            else default_policy_factories(config.agent_path, seed=config.seed)
         )
         self.batcher = RequestBatcher(
             max_wait_ms=config.batch_wait_ms, max_batch=config.max_batch

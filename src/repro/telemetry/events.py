@@ -22,6 +22,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Iterator
 
 from . import spans as _spans
 from .metrics import metrics
@@ -52,7 +53,7 @@ class RunCapture:
 
 
 @contextlib.contextmanager
-def capture_run(meta: dict | None = None):
+def capture_run(meta: dict | None = None) -> Iterator[RunCapture]:
     """Bracket a whole run: spans/metrics recorded inside land in
     ``capture.delta`` (task-relative paths — the run root is path ``""``).
 
@@ -140,7 +141,7 @@ class ProgressWriter:
     def __init__(self, path: Path) -> None:
         self.path = Path(path)
 
-    def write(self, **fields) -> None:
+    def write(self, **fields: Any) -> None:
         record = {"kind": "progress", "wall_time": time.time(), **fields}
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -228,7 +229,9 @@ def _children(stats: dict[str, SpanStat]) -> dict[str, list[str]]:
     return tree
 
 
-def _self_seconds(path: str, stats: dict[str, SpanStat], tree) -> float:
+def _self_seconds(
+    path: str, stats: dict[str, SpanStat], tree: dict[str, list[str]]
+) -> float:
     child_total = sum(stats[c].seconds for c in tree.get(path, ()))
     return max(0.0, stats[path].seconds - child_total)
 
@@ -306,7 +309,7 @@ def render_top(records: list[dict], top: int) -> str:
 
 def export_chrome(records: list[dict]) -> dict:
     """Chrome trace-event JSON (load in chrome://tracing or Perfetto)."""
-    events = []
+    events: list[dict[str, Any]] = []
     for record in records:
         if record.get("kind") != "event":
             continue

@@ -160,6 +160,10 @@ def reset() -> None:
 class _Span:
     __slots__ = ("name", "_saved", "_began")
 
+    name: str
+    _saved: str
+    _began: float
+
     def __init__(self, name: str) -> None:
         self.name = name
 
@@ -170,7 +174,7 @@ class _Span:
         self._began = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         duration = time.perf_counter() - self._began
         col = _COLLECTOR
         path = col.path
@@ -195,14 +199,14 @@ class _NoopSpan:
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         return False
 
 
 _NOOP = _NoopSpan()
 
 
-def span(name: str):
+def span(name: str) -> "_Span | _NoopSpan":
     """Context manager timing one region under the current span path.
 
     Disabled mode returns a shared no-op object: the call costs one
@@ -213,17 +217,19 @@ def span(name: str):
     return _Span(name)
 
 
-def traced(name: str | Callable | None = None):
+def traced(name: "str | Callable[..., Any] | None" = None) -> "Callable[..., Any]":
     """Decorator form of :func:`span` (``@traced`` or ``@traced("label")``)."""
 
-    def decorate(fn: Callable, label: str | None = None):
-        label = label or fn.__qualname__
+    def decorate(
+        fn: "Callable[..., Any]", label: str | None = None
+    ) -> "Callable[..., Any]":
+        span_label = label or fn.__qualname__
 
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             if not _COLLECTOR.enabled:
                 return fn(*args, **kwargs)
-            with _Span(label):
+            with _Span(span_label):
                 return fn(*args, **kwargs)
 
         return wrapper
@@ -257,6 +263,12 @@ class TaskDelta:
 
 class _TaskToken:
     __slots__ = ("saved_path", "stats_mark", "events_len", "dropped", "metrics_mark")
+
+    saved_path: str
+    stats_mark: dict[str, tuple[int, float]]
+    events_len: int
+    dropped: int
+    metrics_mark: "_metrics.MetricsSnapshot"
 
 
 def begin_task() -> _TaskToken | None:

@@ -1,0 +1,83 @@
+"""Baseline file semantics: matching, budgets, updates, persistence."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis import Baseline, BaselineEntry, Finding
+
+
+def finding(rule="rng-constant-seed", rel="core/m.py", line=3, code="rng = default_rng(0)"):
+    return Finding(rel=rel, line=line, col=0, rule=rule, message="msg", code=code)
+
+
+def test_matching_ignores_line_numbers():
+    baseline = Baseline([BaselineEntry(rule="rng-constant-seed", path="core/m.py",
+                                       code="rng = default_rng(0)", line=3)])
+    new, baselined = baseline.split([finding(line=40)])
+    assert new == []
+    assert len(baselined) == 1
+
+
+def test_editing_the_flagged_line_invalidates_the_entry():
+    baseline = Baseline([BaselineEntry(rule="rng-constant-seed", path="core/m.py",
+                                       code="rng = default_rng(0)")])
+    new, baselined = baseline.split([finding(code="rng = default_rng(7)")])
+    assert len(new) == 1
+    assert baselined == []
+
+
+def test_each_entry_absorbs_exactly_one_finding():
+    baseline = Baseline([BaselineEntry(rule="rng-constant-seed", path="core/m.py",
+                                       code="rng = default_rng(0)")])
+    new, baselined = baseline.split([finding(line=3), finding(line=9)])
+    assert len(baselined) == 1
+    assert len(new) == 1
+
+
+def test_update_preserves_surviving_justifications(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    original = Baseline(
+        [
+            BaselineEntry(rule="rng-constant-seed", path="core/m.py",
+                          code="rng = default_rng(0)", justification="bootstrap only"),
+            BaselineEntry(rule="canonical-json", path="store/a.py",
+                          code="json.dumps(x)", justification="stale"),
+        ],
+        path,
+    )
+    updated = original.updated([finding(line=12), finding(rule="rng-stored-advancing",
+                                                          code="self.rng = rng")])
+    by_rule = {entry.rule: entry for entry in updated.entries}
+    assert by_rule["rng-constant-seed"].justification == "bootstrap only"
+    assert by_rule["rng-constant-seed"].line == 12
+    assert "TODO" in by_rule["rng-stored-advancing"].justification
+    assert "canonical-json" not in by_rule  # fixed findings drop out
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    Baseline([BaselineEntry(rule="r", path="p.py", code="c", line=5,
+                            justification="why")]).write(path)
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    loaded = Baseline.load(path)
+    assert loaded.entries[0].justification == "why"
+    assert loaded.entries[0].fingerprint == ("r", "p.py", "c")
+
+
+def test_missing_file_loads_as_empty(tmp_path):
+    baseline = Baseline.load(tmp_path / "absent.json")
+    assert baseline.entries == []
+
+
+def test_repo_baseline_has_no_placeholder_justifications():
+    import pathlib
+
+    import repro
+
+    repo_baseline = pathlib.Path(repro.__file__).parent.parent.parent / "lint-baseline.json"
+    if not repo_baseline.exists():
+        return  # installed without the repo checkout
+    for entry in Baseline.load(repo_baseline).entries:
+        assert "TODO" not in entry.justification, entry.path

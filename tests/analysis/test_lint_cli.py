@@ -1,0 +1,94 @@
+"""The ``repro lint`` command: exit codes, filters, JSON, baseline modes.
+
+The last test is the PR's acceptance gate: the real tree lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+CLEAN = {"core/model.py": "def f(rng):\n    return rng.random()\n"}
+VIOLATION = {
+    "core/model.py": "import numpy as np\nrng = np.random.default_rng(0)\n"
+}
+
+
+def tree(make_tree, files):
+    return str(make_tree(files))
+
+
+def test_exit_zero_on_a_clean_tree(make_tree, capsys):
+    assert main(["lint", "--root", tree(make_tree, CLEAN), "--baseline", "ignore"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_exit_one_on_a_seeded_violation(make_tree, capsys):
+    code = main(["lint", "--root", tree(make_tree, VIOLATION), "--baseline", "ignore"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "rng-constant-seed" in out
+    assert "core/model.py:2" in out
+    assert "hint:" in out
+
+
+def test_rule_filter_limits_the_portfolio(make_tree):
+    root = tree(make_tree, VIOLATION)
+    assert main(["lint", "--root", root, "--baseline", "ignore",
+                 "--rule", "canonical-json"]) == 0
+    assert main(["lint", "--root", root, "--baseline", "ignore",
+                 "--rule", "canonical-json", "--rule", "rng-constant-seed"]) == 1
+
+
+def test_unknown_rule_id_exits_two(make_tree):
+    assert main(["lint", "--root", tree(make_tree, CLEAN), "--rule", "no-such"]) == 2
+
+
+def test_json_payload_written(make_tree, tmp_path):
+    out = tmp_path / "out" / "findings.json"
+    main(["lint", "--root", tree(make_tree, VIOLATION), "--baseline", "ignore",
+          "--json", str(out)])
+    payload = json.loads(out.read_text())
+    assert payload["clean"] is False
+    assert payload["findings"][0]["rule"] == "rng-constant-seed"
+    assert payload["findings"][0]["path"] == "core/model.py"
+
+
+def test_baseline_update_then_apply_cycle(make_tree, tmp_path):
+    root = tree(make_tree, VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    # update records the finding and reports clean
+    assert main(["lint", "--root", root, "--baseline", "update",
+                 "--baseline-file", str(baseline)]) == 0
+    assert "TODO" in baseline.read_text()
+    # a later apply run stays clean...
+    assert main(["lint", "--root", root, "--baseline-file", str(baseline)]) == 0
+    # ...while a fresh violation still fails
+    violating = {
+        "core/model.py": VIOLATION["core/model.py"],
+        "core/other.py": "import numpy as np\nr2 = np.random.default_rng(1)\n",
+    }
+    assert main(["lint", "--root", tree(make_tree, violating),
+                 "--baseline-file", str(baseline)]) == 1
+
+
+def test_list_rules_prints_the_portfolio(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    from repro.analysis import rule_ids
+
+    for rule_id in rule_ids():
+        assert rule_id in out
+
+
+def test_syntax_error_in_tree_exits_two(make_tree):
+    assert main(["lint", "--root", tree(make_tree, {"bad.py": "def broken(:\n"})]) == 2
+
+
+def test_the_real_tree_lints_clean():
+    """Acceptance gate: zero non-baselined findings on the shipped tree."""
+    from repro.analysis import run_lint
+
+    result = run_lint()
+    assert result.findings == [], [f.location for f in result.findings]

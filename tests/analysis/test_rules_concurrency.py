@@ -1,0 +1,139 @@
+"""Fan-out pickle safety and serve drain-thread ownership."""
+
+from __future__ import annotations
+
+
+class TestFanoutPickleSafety:
+    def test_lambda_capturing_a_lock_is_flagged(self, lint):
+        result = lint(
+            {
+                "experiments/runner.py": (
+                    "import threading\n"
+                    "def run(backend, payloads, ctx):\n"
+                    "    guard = threading.Lock()\n"
+                    "    return backend.fanout(lambda p, c: guard, payloads, ctx)\n"
+                )
+            },
+            rule_ids=["fanout-pickle-safety"],
+        )
+        assert len(result.findings) == 1
+        assert "guard" in result.findings[0].message
+
+    def test_nested_task_function_capturing_a_pool_is_flagged(self, lint):
+        result = lint(
+            {
+                "scenarios/runner.py": (
+                    "def run(backend, payloads, ctx, problem):\n"
+                    "    pool = EvaluatorPool(problem)\n"
+                    "    def work(p, c):\n"
+                    "        return pool.evaluate(p)\n"
+                    "    return backend.fanout(work, payloads, ctx)\n"
+                )
+            },
+            rule_ids=["fanout-pickle-safety"],
+        )
+        assert len(result.findings) == 1
+
+    def test_unpicklable_context_argument_is_flagged(self, lint):
+        result = lint(
+            {
+                "serve/load.py": (
+                    "import socket\n"
+                    "def run(backend, payloads):\n"
+                    "    client = socket.socket()\n"
+                    "    return backend.fanout(_task, payloads, client)\n"
+                )
+            },
+            rule_ids=["fanout-pickle-safety"],
+        )
+        assert len(result.findings) == 1
+
+    def test_plain_data_payloads_and_module_level_tasks_pass(self, lint):
+        result = lint(
+            {
+                "experiments/runner.py": (
+                    "def _cell(payload, ctx):\n"
+                    "    return payload\n"
+                    "def run(backend, specs, ctx):\n"
+                    "    keys = [(s, 0) for s in specs]\n"
+                    "    return backend.fanout(_cell, keys, ctx)\n"
+                )
+            },
+            rule_ids=["fanout-pickle-safety"],
+        )
+        assert result.findings == []
+
+    def test_lock_used_without_crossing_a_fanout_passes(self, lint):
+        result = lint(
+            {
+                "serve/server.py": (
+                    "import threading\n"
+                    "def run():\n"
+                    "    guard = threading.Lock()\n"
+                    "    with guard:\n"
+                    "        return 1\n"
+                )
+            },
+            rule_ids=["fanout-pickle-safety"],
+        )
+        assert result.findings == []
+
+
+class TestDrainThreadOwnership:
+    def test_direct_evaluate_in_server_handler_is_flagged_with_path(self, lint):
+        result = lint(
+            {
+                "serve/server.py": (
+                    "class PlacementServer:\n"
+                    "    def _handle_evaluate(self, request):\n"
+                    "        return self._score(request)\n"
+                    "    def _score(self, request):\n"
+                    "        return self.pool.evaluate_many(request)\n"
+                )
+            },
+            rule_ids=["drain-thread-ownership"],
+        )
+        assert len(result.findings) == 1
+        finding = result.findings[0]
+        assert "_handle_evaluate" in finding.message  # reachability path
+        assert "_score" in finding.message
+
+    def test_submitting_to_the_batcher_passes(self, lint):
+        result = lint(
+            {
+                "serve/server.py": (
+                    "class PlacementServer:\n"
+                    "    def _handle_evaluate(self, request):\n"
+                    "        return self.batcher.submit_many(request)\n"
+                )
+            },
+            rule_ids=["drain-thread-ownership"],
+        )
+        assert result.findings == []
+
+    def test_batcher_and_session_modules_are_exempt(self, lint):
+        source = (
+            "class RequestBatcher:\n"
+            "    def _drain_loop(self):\n"
+            "        self.pool.coalesce_evaluate([])\n"
+        )
+        assert (
+            lint({"serve/batcher.py": source}, rule_ids=["drain-thread-ownership"]).findings
+            == []
+        )
+        assert (
+            lint({"serve/session.py": source}, rule_ids=["drain-thread-ownership"]).findings
+            == []
+        )
+
+    def test_rule_is_scoped_to_the_serve_package(self, lint):
+        result = lint(
+            {
+                "experiments/runner.py": (
+                    "def run(pool, cases):\n"
+                    "    return pool.evaluate_many(cases)\n"
+                )
+            },
+            rule_ids=["drain-thread-ownership"],
+        )
+        assert result.findings == []

@@ -1,0 +1,116 @@
+"""Volatile-key drift and canonical-JSON discipline."""
+
+from __future__ import annotations
+
+BASE_CONTRACT = (
+    "VOLATILE_DATA_KEYS = frozenset({'search_seconds', 'trace_cache'})\n"
+)
+
+
+class TestVolatileKeyDrift:
+    def test_undeclared_timing_key_in_report_data_is_flagged(self, lint):
+        result = lint(
+            {
+                "experiments/base.py": BASE_CONTRACT,
+                "experiments/fig9.py": (
+                    "def data(elapsed):\n"
+                    "    return {'gnn_seconds': elapsed, 'sizes': [1, 2]}\n"
+                ),
+            },
+            rule_ids=["volatile-key-drift"],
+        )
+        assert [f.line for f in result.findings] == [2]
+        assert "gnn_seconds" in result.findings[0].message
+
+    def test_declared_keys_and_stable_keys_pass(self, lint):
+        result = lint(
+            {
+                "experiments/base.py": BASE_CONTRACT,
+                "experiments/fig9.py": (
+                    "def data(elapsed):\n"
+                    "    out = {'search_seconds': elapsed, 'table': {}}\n"
+                    "    out['trace_cache'] = 3\n"
+                    "    return out\n"
+                ),
+            },
+            rule_ids=["volatile-key-drift"],
+        )
+        assert result.findings == []
+
+    def test_subscript_assignment_with_undeclared_key_is_flagged(self, lint):
+        result = lint(
+            {
+                "experiments/base.py": BASE_CONTRACT,
+                "experiments/fig9.py": (
+                    "def fill(out, t):\n"
+                    "    out['replace_seconds'] = t\n"
+                ),
+            },
+            rule_ids=["volatile-key-drift"],
+        )
+        assert len(result.findings) == 1
+
+    def test_timing_keys_outside_report_scopes_pass(self, lint):
+        result = lint(
+            {
+                "experiments/base.py": BASE_CONTRACT,
+                "parallel/pool.py": "def t(x):\n    return {'wall_seconds': x}\n",
+            },
+            rule_ids=["volatile-key-drift"],
+        )
+        assert result.findings == []
+
+    def test_rule_stays_quiet_without_a_contract_definition(self, lint):
+        # partial fixture tree: no experiments/base.py, nothing to check against
+        result = lint(
+            {"experiments/fig9.py": "def d(t):\n    return {'gnn_seconds': t}\n"},
+            rule_ids=["volatile-key-drift"],
+        )
+        assert result.findings == []
+
+
+class TestCanonicalJson:
+    def test_dumps_without_sort_keys_on_protocol_path_is_flagged(self, lint):
+        result = lint(
+            {
+                "serve/protocol.py": (
+                    "import json\n"
+                    "def encode(m):\n"
+                    "    return json.dumps(m).encode()\n"
+                )
+            },
+            rule_ids=["canonical-json"],
+        )
+        assert [f.line for f in result.findings] == [3]
+
+    def test_sorted_dumps_passes(self, lint):
+        result = lint(
+            {
+                "store/address.py": (
+                    "import json\n"
+                    "def encode(m):\n"
+                    "    return json.dumps(m, sort_keys=True, separators=(',', ':'))\n"
+                )
+            },
+            rule_ids=["canonical-json"],
+        )
+        assert result.findings == []
+
+    def test_explicitly_disabled_sort_keys_is_flagged(self, lint):
+        result = lint(
+            {
+                "shard/manifest.py": (
+                    "import json\n"
+                    "payload = json.dumps({'a': 1}, sort_keys=False)\n"
+                )
+            },
+            rule_ids=["canonical-json"],
+        )
+        assert len(result.findings) == 1
+
+    def test_dumps_off_the_canonical_surface_passes(self, lint):
+        result = lint(
+            {"cli.py": "import json\nout = json.dumps({'a': 1})\n"},
+            rule_ids=["canonical-json"],
+        )
+        assert result.findings == []

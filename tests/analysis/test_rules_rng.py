@@ -1,0 +1,141 @@
+"""RNG discipline rules: hardcoded seeds and stored advancing generators."""
+
+from __future__ import annotations
+
+
+def rules_fired(result):
+    return [(f.rel, f.line, f.rule) for f in result.findings]
+
+
+class TestRngConstantSeed:
+    def test_flags_hardcoded_scalar_seed(self, lint):
+        result = lint(
+            {"core/model.py": "import numpy as np\nrng = np.random.default_rng(0)\n"},
+            rule_ids=["rng-constant-seed"],
+        )
+        assert rules_fired(result) == [("core/model.py", 2, "rng-constant-seed")]
+
+    def test_flags_fully_constant_seed_list(self, lint):
+        result = lint(
+            {"core/model.py": "import numpy as np\nrng = np.random.default_rng([0, 1])\n"},
+            rule_ids=["rng-constant-seed"],
+        )
+        assert len(result.findings) == 1
+
+    def test_flags_unseeded_and_legacy_apis(self, lint):
+        result = lint(
+            {
+                "core/model.py": (
+                    "import numpy as np\n"
+                    "a = np.random.default_rng()\n"
+                    "np.random.seed(3)\n"
+                    "b = np.random.RandomState(4)\n"
+                )
+            },
+            rule_ids=["rng-constant-seed"],
+        )
+        assert len(result.findings) == 3
+
+    def test_derived_seed_lists_pass(self, lint):
+        result = lint(
+            {
+                "core/model.py": (
+                    "import numpy as np\n"
+                    "def make(seed, cell):\n"
+                    "    return np.random.default_rng([seed, 2, cell])\n"
+                    "def stream(key):\n"
+                    "    return np.random.default_rng(key)\n"
+                )
+            },
+            rule_ids=["rng-constant-seed"],
+        )
+        assert result.findings == []
+
+    def test_cli_entry_point_is_whitelisted(self, lint):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        result = lint({"cli.py": source}, rule_ids=["rng-constant-seed"])
+        assert result.findings == []
+        result = lint({"core/cli_like.py": source}, rule_ids=["rng-constant-seed"])
+        assert len(result.findings) == 1
+
+    def test_inline_suppression_waives_the_finding(self, lint):
+        result = lint(
+            {
+                "core/model.py": (
+                    "import numpy as np\n"
+                    "rng = np.random.default_rng(0)  # repro: lint-ok[rng-constant-seed]\n"
+                )
+            },
+            rule_ids=["rng-constant-seed"],
+        )
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+
+class TestRngStoredAdvancing:
+    def test_flags_instance_stored_rng_in_baselines(self, lint):
+        result = lint(
+            {
+                "baselines/agent.py": (
+                    "class Agent:\n"
+                    "    def __init__(self, rng):\n"
+                    "        self.rng = rng\n"
+                )
+            },
+            rule_ids=["rng-stored-advancing"],
+        )
+        assert rules_fired(result) == [("baselines/agent.py", 3, "rng-stored-advancing")]
+
+    def test_flags_module_level_rng(self, lint):
+        result = lint(
+            {
+                "experiments/mod.py": (
+                    "import numpy as np\n"
+                    "RNG = np.random.default_rng([1, 2])\n"
+                )
+            },
+            rule_ids=["rng-stored-advancing"],
+        )
+        assert len(result.findings) == 1
+
+    def test_same_code_outside_stateful_scopes_passes(self, lint):
+        result = lint(
+            {
+                "core/agent.py": (
+                    "class Agent:\n"
+                    "    def __init__(self, rng):\n"
+                    "        self.rng = rng\n"
+                )
+            },
+            rule_ids=["rng-stored-advancing"],
+        )
+        assert result.findings == []
+
+    def test_non_rng_attributes_pass(self, lint):
+        result = lint(
+            {
+                "baselines/agent.py": (
+                    "class Agent:\n"
+                    "    def __init__(self, problem):\n"
+                    "        self.problem = problem\n"
+                    "        self.count = 0\n"
+                )
+            },
+            rule_ids=["rng-stored-advancing"],
+        )
+        assert result.findings == []
+
+    def test_standalone_comment_suppression_forwards_to_next_code_line(self, lint):
+        result = lint(
+            {
+                "baselines/agent.py": (
+                    "class Agent:\n"
+                    "    def search(self, rng):\n"
+                    "        # repro: lint-ok[rng-stored-advancing]\n"
+                    "        self.rng = rng\n"
+                )
+            },
+            rule_ids=["rng-stored-advancing"],
+        )
+        assert result.findings == []
+        assert len(result.suppressed) == 1

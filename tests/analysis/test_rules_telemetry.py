@@ -1,0 +1,139 @@
+"""Telemetry purity and symmetric stats absorption."""
+
+from __future__ import annotations
+
+
+class TestTelemetryPurity:
+    def test_telemetry_importing_report_module_is_flagged(self, lint):
+        result = lint(
+            {
+                "telemetry/spans.py": "from repro.experiments import base\n",
+                "experiments/base.py": "VOLATILE_DATA_KEYS = frozenset()\n",
+            },
+            rule_ids=["telemetry-purity"],
+        )
+        assert [f.rule for f in result.findings] == ["telemetry-purity"]
+        assert "leaf" in result.findings[0].message
+
+    def test_relative_import_out_of_telemetry_is_flagged(self, lint):
+        result = lint(
+            {
+                "telemetry/spans.py": "from ..experiments import base\n",
+                "experiments/base.py": "",
+            },
+            rule_ids=["telemetry-purity"],
+        )
+        assert len(result.findings) == 1
+
+    def test_sibling_imports_and_stdlib_pass(self, lint):
+        result = lint(
+            {
+                "telemetry/spans.py": (
+                    "import time\n"
+                    "from . import metrics\n"
+                    "from .metrics import Metrics\n"
+                ),
+                "telemetry/metrics.py": "class Metrics: pass\n",
+            },
+            rule_ids=["telemetry-purity"],
+        )
+        assert result.findings == []
+
+    def test_span_body_mutating_report_state_is_flagged(self, lint):
+        result = lint(
+            {
+                "experiments/run.py": (
+                    "from repro.telemetry import span\n"
+                    "def run(report):\n"
+                    "    with span('work'):\n"
+                    "        report.data['x'] = 1\n"
+                )
+            },
+            rule_ids=["telemetry-purity"],
+        )
+        assert [(f.rel, f.line) for f in result.findings] == [("experiments/run.py", 4)]
+
+    def test_span_body_local_assignments_pass(self, lint):
+        result = lint(
+            {
+                "experiments/run.py": (
+                    "from repro.telemetry import span\n"
+                    "def run():\n"
+                    "    with span('work'):\n"
+                    "        out = {}\n"
+                    "        out['x'] = 1\n"
+                    "    return out\n"
+                )
+            },
+            rule_ids=["telemetry-purity"],
+        )
+        assert result.findings == []
+
+    def test_nested_spans_report_one_finding_not_two(self, lint):
+        result = lint(
+            {
+                "experiments/run.py": (
+                    "from repro.telemetry import span\n"
+                    "def run(report):\n"
+                    "    with span('outer'):\n"
+                    "        with span('inner'):\n"
+                    "            report.data['x'] = 1\n"
+                )
+            },
+            rule_ids=["telemetry-purity"],
+        )
+        assert len(result.findings) == 1
+
+
+class TestStatsDoubleAbsorb:
+    def test_same_prefix_absorbed_at_two_sites_flags_both(self, lint):
+        result = lint(
+            {
+                "experiments/a.py": (
+                    "def merge(m, stats):\n"
+                    "    m.absorb('evaluator', stats)\n"
+                ),
+                "scenarios/b.py": (
+                    "def merge(m, stats):\n"
+                    "    m.absorb('evaluator', stats)\n"
+                ),
+            },
+            rule_ids=["stats-double-absorb"],
+        )
+        assert sorted(f.rel for f in result.findings) == [
+            "experiments/a.py",
+            "scenarios/b.py",
+        ]
+
+    def test_distinct_prefixes_pass(self, lint):
+        result = lint(
+            {
+                "experiments/a.py": "def merge(m, s):\n    m.absorb('evaluator', s)\n",
+                "scenarios/b.py": "def merge(m, s):\n    m.absorb('scenario.evaluator', s)\n",
+            },
+            rule_ids=["stats-double-absorb"],
+        )
+        assert result.findings == []
+
+    def test_absorb_inside_fanned_out_task_function_is_flagged(self, lint):
+        result = lint(
+            {
+                "experiments/runner.py": (
+                    "def _work(payload, ctx):\n"
+                    "    ctx.metrics.absorb('evaluator', payload)\n"
+                    "def run(backend, payloads, ctx):\n"
+                    "    return backend.fanout(_work, payloads, ctx)\n"
+                )
+            },
+            rule_ids=["stats-double-absorb"],
+        )
+        assert len(result.findings) == 1
+        assert "fanned out" in result.findings[0].message
+
+    def test_state_does_not_leak_between_runs(self, lint):
+        files = {
+            "experiments/a.py": "def merge(m, s):\n    m.absorb('evaluator', s)\n",
+        }
+        assert lint(files, rule_ids=["stats-double-absorb"]).findings == []
+        # a second run must not see the first run's absorb site
+        assert lint(files, rule_ids=["stats-double-absorb"]).findings == []

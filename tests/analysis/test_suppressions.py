@@ -1,0 +1,65 @@
+"""Inline waiver parsing edge cases."""
+
+from __future__ import annotations
+
+
+def test_multiple_rule_ids_in_one_waiver(lint):
+    result = lint(
+        {
+            "baselines/agent.py": (
+                "import numpy as np\n"
+                "class A:\n"
+                "    def __init__(self):\n"
+                "        self.rng = np.random.default_rng(0)  "
+                "# repro: lint-ok[rng-constant-seed, rng-stored-advancing]\n"
+            )
+        },
+        rule_ids=["rng-constant-seed", "rng-stored-advancing"],
+    )
+    assert result.findings == []
+    assert len(result.suppressed) == 2
+
+
+def test_bare_lint_ok_waives_every_rule(lint):
+    result = lint(
+        {
+            "baselines/agent.py": (
+                "import numpy as np\n"
+                "class A:\n"
+                "    def __init__(self):\n"
+                "        self.rng = np.random.default_rng(0)  # repro: lint-ok\n"
+            )
+        }
+    )
+    assert result.findings == []
+    assert len(result.suppressed) == 2
+
+
+def test_waiver_for_a_different_rule_does_not_apply(lint):
+    result = lint(
+        {
+            "core/m.py": (
+                "import numpy as np\n"
+                "rng = np.random.default_rng(0)  # repro: lint-ok[canonical-json]\n"
+            )
+        },
+        rule_ids=["rng-constant-seed"],
+    )
+    assert len(result.findings) == 1
+    assert result.suppressed == []
+
+
+def test_standalone_waiver_does_not_leak_past_the_next_statement(lint):
+    result = lint(
+        {
+            "core/m.py": (
+                "import numpy as np\n"
+                "# repro: lint-ok[rng-constant-seed]\n"
+                "a = np.random.default_rng(0)\n"
+                "b = np.random.default_rng(1)\n"
+            )
+        },
+        rule_ids=["rng-constant-seed"],
+    )
+    assert [f.line for f in result.findings] == [4]
+    assert len(result.suppressed) == 1

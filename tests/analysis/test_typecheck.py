@@ -1,0 +1,29 @@
+"""Run mypy over the typed islands when it is installed.
+
+The runtime image ships without mypy (CI installs it for the lint job),
+so this test skips rather than fails locally — the pinned configuration
+in pyproject.toml is the contract either way.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+mypy = pytest.importorskip("mypy", reason="mypy not installed (CI-only check)")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def test_typed_islands_pass_mypy():
+    completed = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
